@@ -1,0 +1,62 @@
+"""Shared infrastructure for the experiment-reproduction benchmarks.
+
+Each ``test_*`` file regenerates one table or figure from the paper's
+evaluation (§VI).  Experiments run once inside ``benchmark.pedantic`` so
+``pytest benchmarks/ --benchmark-only`` both *times* the reproduction and
+*prints/persists* the table it regenerates (under ``benchmarks/out/``).
+
+Scaling: our substrate is a simulator, so budgets are minutes, not the
+paper's hours.  Set ``REPRO_BENCH_SCALE`` (default 1.0) to grow or shrink
+every iteration/time budget proportionally.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.instrument import instrument_program
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+OUT_DIR = Path(__file__).parent / "out"
+
+TARGETS = {
+    "SUSY-HMC": "repro.targets.susy",
+    "HPL": "repro.targets.hpl",
+    "IMB-MPI1": "repro.targets.imb",
+}
+
+
+def scaled(n: float) -> int:
+    return max(1, int(round(n * SCALE)))
+
+
+def load_program(name: str):
+    """Freshly instrument one of the three paper targets."""
+    pkg = importlib.import_module(TARGETS[name])
+    return instrument_program(pkg.MODULES, entry_module=pkg.ENTRY)
+
+
+def target_modules(name: str) -> list[str]:
+    return list(importlib.import_module(TARGETS[name]).MODULES)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an experiment exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return runner

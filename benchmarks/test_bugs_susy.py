@@ -1,0 +1,48 @@
+"""§VI-A — the four bugs COMPI uncovered in SUSY-HMC.
+
+Paper result: three segmentation faults caused by a wrong-``sizeof``
+``malloc`` (fix: ``sizeof(Twist_Fermion*)``) and one floating-point
+exception (division by zero) that manifests with 2 or 4 processes but
+not with 1 or 3.  The reproduction must (a) find all four bugs from a
+cold start and (b) log the triggering inputs including the process count
+for the FPE.
+"""
+
+from conftest import emit, load_program, once, scaled  # noqa: F401
+
+from repro.core import Compi, CompiConfig, format_table
+
+ITERATIONS = scaled(150)
+
+
+def test_bugs_susy(once):
+    def experiment():
+        program = load_program("SUSY-HMC")
+        try:
+            compi = Compi(program, CompiConfig(seed=13, init_nprocs=4,
+                                               nprocs_cap=8,
+                                               test_timeout=20))
+            return compi.run(iterations=ITERATIONS)
+        finally:
+            program.unload()
+
+    result = once(experiment)
+    bugs = result.unique_bugs()
+    rows = []
+    for b in bugs:
+        gates = {k: v for k, v in sorted(b.testcase.inputs.items())
+                 if k in ("warms", "ntraj", "nroot", "meas_freq",
+                          "gauge_fix")}
+        rows.append([b.kind, b.testcase.setup.nprocs, b.iteration,
+                     str(gates)])
+    emit("bugs_susy", format_table(
+        ["error kind", "nprocs", "found at iter", "triggering inputs"],
+        rows, title=f"§VI-A — bugs found in SUSY-HMC "
+                    f"({ITERATIONS} iterations)"))
+
+    kinds = [b.kind for b in bugs]
+    assert kinds.count("segfault") >= 3, kinds
+    assert "floating-point-exception" in kinds
+    fpe = next(b for b in bugs if b.kind == "floating-point-exception")
+    assert fpe.testcase.setup.nprocs in (2, 4)
+    assert fpe.testcase.inputs["gauge_fix"] == 1

@@ -1,0 +1,72 @@
+"""Figure 6 — HPL branch coverage and time cost vs matrix size.
+
+Paper result: with all other inputs default, coverage is almost flat from
+N=200 to N=1000 (small rise from 100 to 200 at most) while execution time
+at N=1000 is 27.2× the cost at N=200.  This is the motivation for input
+capping: big problem sizes buy nothing but time.
+"""
+
+from conftest import emit, load_program, once, scaled  # noqa: F401
+
+from repro.concolic import HeavySink, LightSink
+from repro.concolic.context import sink_scope
+from repro.core import format_table
+from repro.mpi import run_job
+
+SIZES = [100, 200, 300, 400, 500, 600, 700, 800, 900, 1000]
+REPEATS = scaled(3)
+
+
+def run_at_size(program, n):
+    from repro.targets.hpl.main import INPUT_SPEC
+
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(n=n, nb=32, p=2, q=2)
+
+    def entry(mpi):
+        with sink_scope(mpi.sink):
+            return program.entry(mpi, dict(args))
+
+    sinks = [HeavySink(0)] + [LightSink(r) for r in range(1, 4)]
+    import time
+
+    t0 = time.monotonic()
+    res = run_job([entry] * 4, sinks=sinks, timeout=300)
+    elapsed = time.monotonic() - t0
+    assert res.ok
+    covered = set()
+    for s in sinks:
+        covered |= s.coverage.branches
+    return elapsed, sum(1 for (sid, _d) in covered if sid >= 0)
+
+
+def test_fig6_matrix_size(once):
+    def experiment():
+        program = load_program("HPL")
+        try:
+            out = {}
+            for n in SIZES:
+                times = []
+                covered = 0
+                for _ in range(REPEATS):
+                    t, covered = run_at_size(program, n)
+                    times.append(t)
+                out[n] = (min(times), covered)
+            return out
+        finally:
+            program.unload()
+
+    results = once(experiment)
+    t200 = results[200][0]
+    rows = [[n, f"{t:.3f}", f"{t / t200:.1f}x", cov]
+            for n, (t, cov) in results.items()]
+    emit("fig6_matrix_size", format_table(
+        ["matrix size N", "time (s)", "vs N=200", "covered branches"],
+        rows, title="Figure 6 — HPL at various matrix sizes "
+                    "(defaults otherwise)"))
+
+    coverages = [cov for (_t, cov) in results.values()]
+    # coverage essentially flat beyond N=200 (paper: "almost stays the same")
+    assert max(coverages[1:]) - min(coverages[1:]) <= 2
+    # time at N=1000 is many times the N=200 cost (paper: 27.2x)
+    assert results[1000][0] > 5 * t200

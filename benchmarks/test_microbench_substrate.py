@@ -1,0 +1,92 @@
+"""Substrate microbenchmarks (not a paper artifact).
+
+Calibrates the virtual MPI runtime and the concolic layer so the
+experiment numbers above can be read with the right mental model:
+
+* job spin-up cost (threads + mailboxes),
+* point-to-point and collective latency,
+* SymInt proxy overhead vs plain ints (what two-way instrumentation
+  saves on non-focus ranks).
+
+These use pytest-benchmark with real repetition (unlike the experiment
+reproductions, which run once and print tables).
+"""
+
+import numpy as np
+
+from repro.concolic import HeavySink, LightSink, sink_scope
+from repro.mpi import run_spmd
+
+
+def test_job_spinup_4_ranks(benchmark):
+    def job():
+        def prog(mpi):
+            mpi.Init()
+        assert run_spmd(prog, size=4, timeout=10).ok
+
+    benchmark.pedantic(job, rounds=10, iterations=1)
+
+
+def test_pingpong_latency(benchmark):
+    def job():
+        def prog(mpi):
+            mpi.Init()
+            rank = mpi.COMM_WORLD.Get_rank()
+            for i in range(50):
+                if rank == 0:
+                    mpi.COMM_WORLD.Send(i, dest=1, tag=1)
+                    mpi.COMM_WORLD.Recv(source=1, tag=1)
+                else:
+                    mpi.COMM_WORLD.Recv(source=0, tag=1)
+                    mpi.COMM_WORLD.Send(i, dest=0, tag=1)
+        assert run_spmd(prog, size=2, timeout=15).ok
+
+    benchmark.pedantic(job, rounds=5, iterations=1)
+
+
+def test_allreduce_throughput_8_ranks(benchmark):
+    def job():
+        def prog(mpi):
+            mpi.Init()
+            buf = np.ones(128)
+            for _ in range(20):
+                mpi.COMM_WORLD.Allreduce(buf, mpi.SUM)
+        assert run_spmd(prog, size=8, timeout=20).ok
+
+    benchmark.pedantic(job, rounds=5, iterations=1)
+
+
+def test_symint_branch_overhead(benchmark):
+    """The heavy-sink cost per symbolic branch evaluation — the overhead
+    two-way instrumentation keeps off the non-focus ranks."""
+    sink = HeavySink(log_events=True)
+
+    def loop():
+        with sink_scope(sink):
+            x = sink.mark_input("x", 0)
+            i = 0
+            while (x + i < 3000):      # implicit symbolic branch per iter
+                i += 1
+
+    benchmark.pedantic(loop, rounds=5, iterations=1)
+
+
+def test_plain_branch_baseline(benchmark):
+    """Reference: the same loop over plain ints (light-rank behaviour)."""
+    def loop():
+        x = 0
+        i = 0
+        while x + i < 3000:
+            i += 1
+
+    benchmark.pedantic(loop, rounds=5, iterations=1)
+
+
+def test_light_sink_coverage_insert(benchmark):
+    sink = LightSink()
+
+    def loop():
+        for s in range(3000):
+            sink.on_branch(s & 255, True)
+
+    benchmark.pedantic(loop, rounds=5, iterations=1)

@@ -1,0 +1,77 @@
+"""Table VI — COMPI's framework vs standard concolic testing vs random.
+
+Paper results (avg coverage of reachable, fixed time budgets, 8 initial
+processes):
+
+    program     Fwk     No_Fwk   Random
+    SUSY-HMC    84.7%    3.4%    38.3%
+    HPL         69.4%   58.9%     2.2%
+    IMB-MPI1    69.0%   64.2%     1.8%
+
+No_Fwk = one fixed focus, always 8 processes, focus-only coverage — on
+SUSY-HMC it can never produce a sound lattice layout with 8 ranks (the
+time extent is capped at 5), which is the paper's 25× collapse.  Shape to
+reproduce: Fwk strictly beats No_Fwk everywhere, catastrophically so on
+SUSY-HMC; random testing trails far behind on the ladder-guarded targets.
+"""
+
+from conftest import emit, load_program, once, scaled  # noqa: F401
+
+from repro.baselines import make_variant
+from repro.core import CompiConfig, format_table
+
+TIME_BUDGETS = {"SUSY-HMC": 15.0, "HPL": 15.0, "IMB-MPI1": 20.0}
+
+
+def run_variant(name, variant):
+    program = load_program(name)
+    try:
+        cfg = CompiConfig(seed=16, init_nprocs=8, nprocs_cap=16,
+                          test_timeout=8)
+        tester = make_variant(program, variant, cfg)
+        result = tester.run(time_budget=TIME_BUDGETS[name]
+                            * (scaled(10) / 10.0))
+        return result.coverage.covered_static, result.reachable_branches
+    finally:
+        program.unload()
+
+
+def test_table6_framework(once):
+    def experiment():
+        out = {}
+        for name in ("SUSY-HMC", "HPL", "IMB-MPI1"):
+            out[name] = {v: run_variant(name, v)
+                         for v in ("Fwk", "No_Fwk", "Random")}
+        return out
+
+    results = once(experiment)
+    rows = []
+    for name, per_variant in results.items():
+        reachable = max(r[1] for r in per_variant.values())
+        row = [name]
+        for v in ("Fwk", "No_Fwk", "Random"):
+            covered = per_variant[v][0]
+            row.append(f"{covered} ({100 * covered / reachable:.1f}%)")
+        rows.append(row)
+    emit("table6_framework", format_table(
+        ["program", "Fwk (COMPI)", "No_Fwk", "Random"],
+        rows, title="Table VI — framework evaluation "
+                    "(coverage, common reachable denominator)"))
+
+    for name, per_variant in results.items():
+        fwk = per_variant["Fwk"][0]
+        # Fwk never loses; on IMB the paper's own gap is only ~5pp, so a
+        # short-budget run may tie there
+        assert fwk >= per_variant["No_Fwk"][0], name
+        assert fwk > per_variant["Random"][0], name
+    assert sum(r["Fwk"][0] for r in results.values()) > \
+        sum(r["No_Fwk"][0] for r in results.values())
+    # The SUSY collapse: a fixed 8-rank job can never lay out the lattice
+    # (nt <= 5), so No_Fwk is pinned to the sanity/setup region.  In the
+    # paper that floor is 3.4% of a 2030-branch program; our skeleton's
+    # setup region is ~half of its (much smaller) branch count, so the
+    # structural check is a wide margin plus Random beating No_Fwk there
+    # (random *does* vary the process count, as in the paper's 38% vs 3%).
+    susy = results["SUSY-HMC"]
+    assert susy["Fwk"][0] > 1.5 * susy["No_Fwk"][0]
+    assert susy["Random"][0] > susy["No_Fwk"][0]

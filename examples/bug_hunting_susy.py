@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Bug hunting on the SUSY-HMC lattice code (paper §VI-A).
+
+COMPI uncovered four bugs in SUSY LATTICE's RHMC component: three
+segmentation faults from a wrong-``sizeof`` allocation and one
+division-by-zero that needs *both* a specific input (gauge fixing on)
+and a specific process count (2 or 4).  This example runs a campaign
+against our seeded reproduction and prints each error-inducing input the
+tool logs — the artifact a developer receives.
+
+Run:  python examples/bug_hunting_susy.py
+"""
+
+from repro import Compi, CompiConfig, instrument_program
+from repro.core import format_table
+from repro.targets.susy import ENTRY, MODULES
+
+
+def main():
+    program = instrument_program(MODULES, entry_module=ENTRY)
+    config = CompiConfig(seed=13, init_nprocs=4, nprocs_cap=8,
+                         test_timeout=20)
+    compi = Compi(program, config)
+
+    result = compi.run(iterations=120)
+
+    bugs = result.unique_bugs()
+    rows = []
+    for b in bugs:
+        tc = b.testcase
+        trigger = {k: v for k, v in sorted(tc.inputs.items())
+                   if k in ("warms", "ntraj", "nroot", "meas_freq",
+                            "gauge_fix")}
+        rows.append([b.kind, b.global_rank, tc.setup.nprocs, tc.setup.focus,
+                     str(trigger)])
+    print(format_table(
+        ["error kind", "rank", "nprocs", "focus", "triggering inputs"],
+        rows, title=f"unique bugs found: {len(bugs)} "
+                    f"(in {len(result.iterations)} iterations)"))
+
+    fpe = [b for b in bugs if b.kind == "floating-point-exception"]
+    if fpe:
+        np_ = fpe[0].testcase.setup.nprocs
+        print(f"\nthe division-by-zero fired with {np_} processes "
+              f"(it cannot fire with 1 or 3 — try it!)")
+    print(f"\ncoverage: {result.coverage.covered_static} branches; "
+          f"{100 * result.coverage_rate:.1f}% of reachable")
+    program.unload()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""COMPI vs pure random testing on IMB-MPI1 (the Table VI contrast).
+
+Random testing draws marked inputs, the process count and the focus at
+random (under the same caps COMPI uses).  On programs with a sanity-check
+ladder it almost never reaches the benchmark kernels; concolic negation
+walks straight through.  Equal time budgets, same target.
+
+Run:  python examples/compi_vs_random.py
+"""
+
+from repro import Compi, CompiConfig, instrument_program
+from repro.baselines import RandomTester
+from repro.core import format_table
+from repro.targets.imb import ENTRY, MODULES
+
+TIME_BUDGET = 20.0   # seconds per tester
+
+
+def main():
+    results = {}
+    for label in ("COMPI", "Random"):
+        program = instrument_program(MODULES, entry_module=ENTRY)
+        config = CompiConfig(seed=31, init_nprocs=4, nprocs_cap=8,
+                             test_timeout=10)
+        tester = (Compi(program, config) if label == "COMPI"
+                  else RandomTester(program, config))
+        results[label] = tester.run(time_budget=TIME_BUDGET)
+        program.unload()
+    # coverage rates must share one denominator: a tester that never got
+    # past the sanity check would otherwise divide by its own tiny
+    # reachable set and look deceptively good
+    reachable = max(r.reachable_branches for r in results.values())
+    rows = [[label, len(r.iterations), r.coverage.covered_static,
+             f"{100 * r.coverage.covered_static / reachable:.1f}%"]
+            for label, r in results.items()]
+    print(format_table(
+        ["tester", "tests run", "covered branches", "of reachable"],
+        rows, title=f"IMB-MPI1, {TIME_BUDGET:.0f}s budget each"))
+
+
+if __name__ == "__main__":
+    main()

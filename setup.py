@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so modern
+``pip install -e .`` (which builds an editable wheel) fails.  This shim
+enables ``python setup.py develop`` / legacy editable installs.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""COMPI — Concolic Testing for MPI Applications (IPDPS 2018), a complete
+Python reproduction.
+
+Subpackages:
+
+* ``repro.mpi``        — virtual in-process MPI runtime (threads as ranks)
+* ``repro.instrument`` — AST instrumentation (the CIL analog)
+* ``repro.concolic``   — symbolic proxies, traces, coverage, reduction
+* ``repro.solver``     — linear-integer constraint solver (Yices stand-in)
+* ``repro.search``     — DFS/BoundedDFS, random, CFG search strategies
+* ``repro.core``       — the COMPI tool: config, loop, runner, reports
+* ``repro.baselines``  — random testing and ablation variants
+* ``repro.targets``    — SUSY-HMC / HPL / IMB-MPI1 reimplementations
+* ``repro.analysis``   — SLOC and complexity accounting (Table III)
+
+Quickstart::
+
+    from repro import Compi, CompiConfig, instrument_program
+
+    program = instrument_program(["repro.targets.demo"])
+    result = Compi(program, CompiConfig(seed=0)).run(iterations=50)
+    print(result.covered, "branches covered;", len(result.unique_bugs()), "bugs")
+"""
+
+from .core import Compi, CompiConfig
+from .instrument import instrument_program
+
+__version__ = "1.0.0"
+__all__ = ["Compi", "CompiConfig", "instrument_program", "__version__"]

@@ -1,0 +1,226 @@
+"""Command-line interface: run COMPI campaigns from a shell.
+
+Examples::
+
+    python -m repro targets
+    python -m repro run --target demo --iterations 40
+    python -m repro run --target hpl --time-budget 20 --seed 3 --nprocs 4
+    python -m repro compare --target imb --variants R,Random --iterations 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+
+from .baselines import VARIANTS, make_variant
+from .core import CompiConfig, campaign_summary, format_table
+from .instrument import instrument_program
+
+#: name → (modules..., entry) resolved lazily from the target packages
+TARGETS = {
+    "demo": (["repro.targets.demo"], "repro.targets.demo"),
+    "seq_demo": (["repro.targets.seq_demo"], "repro.targets.seq_demo"),
+    "susy": ("repro.targets.susy", None),
+    "hpl": ("repro.targets.hpl", None),
+    "imb": ("repro.targets.imb", None),
+}
+
+
+def load_target(name: str):
+    """Instrument and load one named target."""
+    try:
+        spec = TARGETS[name]
+    except KeyError:
+        raise SystemExit(f"unknown target {name!r}; run `python -m repro "
+                         f"targets` for the list") from None
+    modules, entry = spec
+    if isinstance(modules, str):
+        pkg = importlib.import_module(modules)
+        modules, entry = pkg.MODULES, pkg.ENTRY
+    return instrument_program(list(modules), entry_module=entry)
+
+
+def build_config(args: argparse.Namespace) -> CompiConfig:
+    """Map parsed CLI flags onto a CompiConfig."""
+    return CompiConfig(
+        seed=args.seed,
+        init_nprocs=args.nprocs,
+        nprocs_cap=args.nprocs_cap,
+        test_timeout=args.test_timeout,
+        reduction=not args.no_reduction,
+        two_way=not args.one_way,
+        framework=not args.no_framework,
+    )
+
+
+def add_common(p: argparse.ArgumentParser) -> None:
+    """Attach the flags shared by run/compare/replay."""
+    p.add_argument("--target", required=True, choices=sorted(TARGETS))
+    p.add_argument("--iterations", type=int, default=None)
+    p.add_argument("--time-budget", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--nprocs", type=int, default=4,
+                   help="initial process count (paper default: 8)")
+    p.add_argument("--nprocs-cap", type=int, default=8,
+                   help="cap on derived process counts (paper: 16)")
+    p.add_argument("--test-timeout", type=float, default=10.0,
+                   help="per-test hang timeout in seconds")
+    p.add_argument("--no-reduction", action="store_true",
+                   help="disable constraint set reduction (§IV-C)")
+    p.add_argument("--one-way", action="store_true",
+                   help="one-way instrumentation: every rank runs heavy")
+    p.add_argument("--no-framework", action="store_true",
+                   help="standard concolic testing (fixed focus/nprocs)")
+
+
+def budget_kwargs(args: argparse.Namespace) -> dict:
+    """Budget kwargs for Compi.run from the CLI flags (default: 50 iterations)."""
+    if args.iterations is None and args.time_budget is None:
+        return {"iterations": 50}
+    out = {}
+    if args.iterations is not None:
+        out["iterations"] = args.iterations
+    if args.time_budget is not None:
+        out["time_budget"] = args.time_budget
+    return out
+
+
+def cmd_targets(_args: argparse.Namespace) -> int:
+    """`targets` subcommand: list the available targets."""
+    rows = []
+    for name, spec in sorted(TARGETS.items()):
+        modules = spec[0]
+        if isinstance(modules, str):
+            modules = importlib.import_module(modules).MODULES
+        rows.append([name, len(modules), modules[-1]])
+    print(format_table(["target", "modules", "entry"], rows,
+                       title="available targets"))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """`run` subcommand: one COMPI campaign; nonzero exit when bugs were found."""
+    program = load_target(args.target)
+    try:
+        from .core import Compi
+
+        config = build_config(args)
+        compi = Compi(program, config)
+        result = compi.run(**budget_kwargs(args))
+        print(campaign_summary(result))
+        if args.save_log:
+            from .core.persist import save_campaign
+
+            path = save_campaign(result, args.save_log, config=config)
+            print(f"campaign log: {path}")
+        return 0 if not result.unique_bugs() else 1
+    finally:
+        program.unload()
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """Replay a bug from a campaign log: the §V workflow's last mile —
+    the logged error-inducing input is re-executed for analysis."""
+    from .core.persist import load_campaign
+    from .core.runner import TestRunner
+
+    loaded = load_campaign(args.log)
+    bugs = loaded["bugs"]
+    if not bugs:
+        print("no bugs recorded in this log")
+        return 0
+    if args.bug >= len(bugs):
+        raise SystemExit(f"log has {len(bugs)} bugs; --bug {args.bug} "
+                         f"is out of range")
+    bug = bugs[args.bug]
+    print(f"replaying bug #{args.bug}: {bug.kind} "
+          f"(np={bug.testcase.setup.nprocs}, focus={bug.testcase.setup.focus})")
+    print(f"inputs: {dict(sorted(bug.testcase.inputs.items()))}")
+
+    program = load_target(args.target)
+    try:
+        rec = TestRunner(program, build_config(args)).run(bug.testcase)
+        if rec.error is None:
+            print("replay did NOT reproduce the error "
+                  "(fixed, or environment-dependent)")
+            return 1
+        print(f"reproduced: {rec.error.kind} on rank {rec.error.global_rank}")
+        print(f"  {rec.error.message}")
+        if rec.error.location:
+            print(f"  at {rec.error.location}")
+        if args.traceback and rec.error.traceback:
+            print(rec.error.traceback)
+        return 0
+    finally:
+        program.unload()
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    """`compare` subcommand: run several variants with a common denominator."""
+    names = [v.strip() for v in args.variants.split(",") if v.strip()]
+    for v in names:
+        if v not in VARIANTS:
+            raise SystemExit(f"unknown variant {v!r}; choose from {VARIANTS}")
+    results = {}
+    for v in names:
+        program = load_target(args.target)
+        try:
+            tester = make_variant(program, v, build_config(args))
+            results[v] = tester.run(**budget_kwargs(args))
+        finally:
+            program.unload()
+    reachable = max(r.reachable_branches for r in results.values()) or 1
+    rows = [[v, len(r.iterations), r.coverage.covered_static,
+             f"{100 * r.coverage.covered_static / reachable:.1f}%",
+             len(r.unique_bugs())]
+            for v, r in results.items()]
+    print(format_table(
+        ["variant", "tests", "covered", "of reachable", "bugs"],
+        rows, title=f"{args.target}: variant comparison"))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="COMPI (IPDPS 2018) reproduction — concolic testing "
+                    "for MPI applications")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list available targets")
+
+    p_run = sub.add_parser("run", help="run a COMPI campaign")
+    add_common(p_run)
+    p_run.add_argument("--save-log", default=None, metavar="PATH",
+                       help="persist the campaign as a JSONL log")
+
+    p_cmp = sub.add_parser("compare", help="compare testing variants")
+    add_common(p_cmp)
+    p_cmp.add_argument("--variants", default="R,Random",
+                       help=f"comma list from {', '.join(VARIANTS)}")
+
+    p_rep = sub.add_parser("replay",
+                           help="replay a logged error-inducing input")
+    add_common(p_rep)
+    p_rep.add_argument("--log", required=True,
+                       help="campaign JSONL log (see repro.core.persist)")
+    p_rep.add_argument("--bug", type=int, default=0,
+                       help="bug index within the log")
+    p_rep.add_argument("--traceback", action="store_true",
+                       help="print the full recorded traceback")
+
+    args = parser.parse_args(argv)
+    if args.command == "targets":
+        return cmd_targets(args)
+    if args.command == "run":
+        return cmd_run(args)
+    if args.command == "replay":
+        return cmd_replay(args)
+    return cmd_compare(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

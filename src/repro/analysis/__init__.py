@@ -1,0 +1,7 @@
+"""Static/dynamic analysis helpers feeding the evaluation tables."""
+
+from .complexity import ComplexityRow, complexity_row
+from .sloc import count_sloc_module, count_sloc_modules, count_sloc_source
+
+__all__ = ["ComplexityRow", "complexity_row", "count_sloc_module",
+           "count_sloc_modules", "count_sloc_source"]

@@ -1,0 +1,42 @@
+"""Target complexity accounting (Table III).
+
+Combines the SLOC counter with the instrumentation registry: total
+branches come from the static instrumentation pass, reachable branches
+from the CREST-FAQ estimate (2 × sites of every function entered during
+testing, i.e. a campaign's merged function coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..concolic.coverage import CoverageMap
+from ..instrument.loader import InstrumentedProgram
+from .sloc import count_sloc_modules
+
+
+@dataclass(frozen=True)
+class ComplexityRow:
+    """One Table III row."""
+
+    program: str
+    sloc: int
+    total_branches: int
+    reachable_branches: int
+
+
+def complexity_row(program: InstrumentedProgram, module_names: list[str],
+                   coverage: Optional[CoverageMap] = None) -> ComplexityRow:
+    """Build the row; ``coverage`` supplies the reachable estimate (0 when
+    no testing campaign has run yet)."""
+    reachable = 0
+    if coverage is not None:
+        reachable = coverage.reachable_branches(
+            program.registry.branches_per_function())
+    return ComplexityRow(
+        program=program.name,
+        sloc=count_sloc_modules(module_names),
+        total_branches=program.registry.total_branches,
+        reachable_branches=reachable,
+    )

@@ -1,0 +1,85 @@
+"""Terminal-friendly ASCII charts for campaign telemetry.
+
+The paper's Figure 4 and Figure 6 are line plots; the benchmark harness
+reports their data as tables, and this module renders the same series as
+ASCII charts for humans skimming terminal output.  No plotting libraries
+— deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def line_chart(series: dict[str, Sequence[float]], width: int = 64,
+               height: int = 16, title: str = "",
+               y_label: str = "") -> str:
+    """Render one or more y-series (shared, implicit x) as an ASCII chart.
+
+    Each series gets a marker character; the legend maps them back.
+    """
+    if not series or all(len(v) == 0 for v in series.values()):
+        return f"{title}\n(no data)"
+    markers = "*o+x#@%&"
+    y_min = min(min(v) for v in series.values() if len(v))
+    y_max = max(max(v) for v in series.values() if len(v))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_max = max(len(v) for v in series.values())
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, values) in enumerate(series.items()):
+        m = markers[si % len(markers)]
+        for i, y in enumerate(values):
+            col = int(i * (width - 1) / max(1, x_max - 1))
+            row = int((y - y_min) * (height - 1) / (y_max - y_min))
+            grid[height - 1 - row][col] = m
+
+    lines = []
+    if title:
+        lines.append(title)
+    label_w = max(len(f"{y_max:g}"), len(f"{y_min:g}")) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{y_max:g}".rjust(label_w)
+        elif r == height - 1:
+            label = f"{y_min:g}".rjust(label_w)
+        else:
+            label = " " * label_w
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_w + "-" * (width + 2))
+    legend = "  ".join(f"{markers[i % len(markers)]}={name}"
+                       for i, name in enumerate(series))
+    lines.append(" " * label_w + f" {legend}")
+    if y_label:
+        lines.append(" " * label_w + f" (y: {y_label}; x: 0..{x_max - 1})")
+    return "\n".join(lines)
+
+
+def coverage_chart(results: dict[str, "object"], width: int = 64,
+                   height: int = 16, title: str = "") -> str:
+    """Chart covered-branches-over-iterations for named campaigns.
+
+    Accepts :class:`~repro.core.compi.CampaignResult` values (anything
+    with ``.iterations`` carrying ``covered_after``).
+    """
+    series = {
+        name: [rec.covered_after for rec in result.iterations]
+        for name, result in results.items()
+    }
+    return line_chart(series, width=width, height=height, title=title,
+                      y_label="covered branches")
+
+
+def histogram_chart(buckets: Sequence[tuple[str, int]], width: int = 40,
+                    title: str = "") -> str:
+    """Horizontal bar chart for bucketed counts (the Fig. 9 shape)."""
+    if not buckets:
+        return f"{title}\n(no data)"
+    peak = max(c for _l, c in buckets) or 1
+    label_w = max(len(l) for l, _c in buckets)
+    lines = [title] if title else []
+    for label, count in buckets:
+        bar = "#" * int(round(count * width / peak)) if count else ""
+        lines.append(f"{label.rjust(label_w)} |{bar} {count}")
+    return "\n".join(lines)

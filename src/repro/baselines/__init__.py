@@ -1,0 +1,6 @@
+"""Baselines and ablation variants for the paper's comparisons."""
+
+from .random_testing import RandomTester
+from .variants import VARIANTS, make_variant
+
+__all__ = ["RandomTester", "VARIANTS", "make_variant"]

@@ -1,0 +1,98 @@
+"""Pure random testing baseline (§VI-E).
+
+Generates random values for the marked variables and randomly sets the
+number of processes and the focus process, all under the same input caps
+COMPI uses (the paper does this "for a fair comparison").  Coverage is
+recorded across all ranks with light instrumentation; there is no
+symbolic execution and no input derivation.
+
+Produces the same :class:`~repro.core.compi.CampaignResult` shape as
+COMPI so every report/benchmark consumes both uniformly.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..concolic.coverage import CoverageMap
+from ..core.compi import BugRecord, CampaignResult, IterationRecord
+from ..core.config import CompiConfig
+from ..core.conflicts import TestSetup
+from ..core.runner import TestRunner
+from ..core.testcase import InputSpec, TestCase, specs_from_module
+from ..instrument.loader import InstrumentedProgram
+
+
+class RandomTester:
+    """Drives random tests of one instrumented target."""
+
+    def __init__(self, program: InstrumentedProgram,
+                 config: Optional[CompiConfig] = None,
+                 specs: Optional[dict[str, InputSpec]] = None,
+                 caps: Optional[dict[str, int]] = None):
+        self.program = program
+        self.config = config or CompiConfig()
+        self.specs = specs or specs_from_module(
+            program.modules[program.entry_module])
+        #: caps known from the marking interfaces (random testing honours
+        #: them for the paper's fair comparison)
+        self.caps = dict(caps or {})
+        self.rng = np.random.default_rng(self.config.rng_seed(17))
+        # random testing never needs the heavy build; force coverage-only
+        # ranks for every position by treating the focus like the rest
+        self.runner = TestRunner(program, self.config.with_(log_events=False))
+        self.coverage = CoverageMap()
+        self.bugs: list[BugRecord] = []
+        self.records: list[IterationRecord] = []
+
+    def _random_testcase(self) -> TestCase:
+        inputs = {}
+        for name, spec in self.specs.items():
+            hi = min(spec.hi, self.caps.get(name, spec.hi))
+            lo = min(spec.lo, hi)
+            inputs[name] = int(self.rng.integers(lo, hi + 1))
+        nprocs = int(self.rng.integers(1, self.config.nprocs_cap + 1))
+        focus = int(self.rng.integers(0, nprocs))
+        return TestCase(inputs=inputs, setup=TestSetup(nprocs, focus),
+                        origin="restart")
+
+    def run(self, iterations: Optional[int] = None,
+            time_budget: Optional[float] = None) -> CampaignResult:
+        if iterations is None and time_budget is None:
+            raise ValueError("give an iteration or time budget")
+        start = time.monotonic()
+        it = 0
+        while True:
+            if iterations is not None and it >= iterations:
+                break
+            if time_budget is not None and time.monotonic() - start >= time_budget:
+                break
+            tc = self._random_testcase()
+            rec = self.runner.run(tc)
+            self.coverage.merge(rec.coverage)
+            if rec.error is not None:
+                self.bugs.append(BugRecord(
+                    kind=rec.error.kind, message=rec.error.message,
+                    global_rank=rec.error.global_rank, testcase=tc,
+                    iteration=it, location=rec.error.location))
+            self.records.append(IterationRecord(
+                iteration=it, origin="restart", nprocs=tc.setup.nprocs,
+                focus=tc.setup.focus,
+                path_len=len(rec.trace.path) if rec.trace else 0,
+                event_count=rec.trace.event_count if rec.trace else 0,
+                covered_after=self.coverage.covered_branches,
+                error_kind=rec.error.kind if rec.error else None,
+                wall_time=rec.wall_time,
+                elapsed=time.monotonic() - start))
+            it += 1
+        return CampaignResult(
+            program_name=f"{self.program.name}(random)",
+            coverage=self.coverage,
+            total_branches=self.program.registry.total_branches,
+            branches_per_function=self.program.registry.branches_per_function(),
+            bugs=self.bugs,
+            iterations=self.records,
+            wall_time=time.monotonic() - start)

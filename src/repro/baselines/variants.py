@@ -1,0 +1,60 @@
+"""Ablation variants of COMPI (the paper's §VI comparisons).
+
+Every evaluation section compares "the default COMPI with its variation
+that either modifies or disables the feature of interest while
+incorporating all the other features":
+
+* ``R``        — default COMPI (constraint set reduction on)
+* ``NRBound``  — no reduction, BoundedDFS with COMPI's default bound
+* ``NRUnl``    — no reduction, unlimited depth (pure DFS throughout)
+* ``Fwk``      — default COMPI (the framework)
+* ``No_Fwk``   — standard concolic testing: fixed focus, fixed process
+  count, focus-only coverage, no MPI marking
+* ``OneWay``   — one-way instrumentation: every rank runs heavy
+* ``Random``   — pure random testing (see ``random_testing``)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.compi import Compi
+from ..core.config import CompiConfig
+from ..instrument.loader import InstrumentedProgram
+from ..search.dfs import BoundedDFS, TwoPhaseDFS
+from .random_testing import RandomTester
+
+VARIANTS = ("R", "NRBound", "NRUnl", "Fwk", "No_Fwk", "OneWay", "Random")
+
+
+def make_variant(program: InstrumentedProgram, variant: str,
+                 config: Optional[CompiConfig] = None,
+                 depth_bound: Optional[int] = None):
+    """Build the configured tester for one named variant.
+
+    ``depth_bound`` feeds NRBound (the paper derives per-program bounds —
+    500/600/300 — from the first DFS phase).
+    """
+    cfg = config or CompiConfig()
+    if variant in ("R", "Fwk"):
+        return Compi(program, cfg)
+    if variant == "NRBound":
+        bound = depth_bound or cfg.fixed_depth_bound or 500
+        ncfg = cfg.with_(reduction=False, fixed_depth_bound=bound)
+        strategy = BoundedDFS(depth_bound=bound,
+                              rng=np.random.default_rng(cfg.rng_seed(3)))
+        return Compi(program, ncfg, strategy=strategy)
+    if variant == "NRUnl":
+        ncfg = cfg.with_(reduction=False)
+        strategy = BoundedDFS(depth_bound=None,
+                              rng=np.random.default_rng(cfg.rng_seed(3)))
+        return Compi(program, ncfg, strategy=strategy)
+    if variant == "No_Fwk":
+        return Compi(program, cfg.with_(framework=False))
+    if variant == "OneWay":
+        return Compi(program, cfg.with_(two_way=False))
+    if variant == "Random":
+        return RandomTester(program, cfg)
+    raise ValueError(f"unknown variant {variant!r}; pick from {VARIANTS}")

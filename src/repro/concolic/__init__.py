@@ -1,0 +1,23 @@
+"""Concolic execution core: symbolic proxies, traces, coverage, reduction."""
+
+from .context import current_sink, set_sink, sink_scope
+from .coverage import CoverageMap, merge_all
+from .expr import (KIND_INPUT, KIND_RC, KIND_RW, KIND_SC, KIND_SW,
+                   Constraint, LinearExpr, Var, constraint_vars,
+                   make_comparison)
+from .marking import (compi_char, compi_int, compi_int_with_limit,
+                      compi_int_with_range, compi_short, compi_uchar,
+                      compi_ushort)
+from .reduction import ReductionFilter
+from .sym import SymBool, SymInt, concrete
+from .trace import HeavySink, LightSink, PathEntry, TraceResult
+
+__all__ = [
+    "Constraint", "CoverageMap", "HeavySink", "KIND_INPUT", "KIND_RC",
+    "KIND_RW", "KIND_SC", "KIND_SW", "LightSink", "LinearExpr", "PathEntry",
+    "ReductionFilter", "SymBool", "SymInt", "TraceResult", "Var",
+    "compi_char", "compi_int", "compi_int_with_limit",
+    "compi_int_with_range", "compi_short", "compi_uchar", "compi_ushort",
+    "concrete", "constraint_vars", "current_sink", "make_comparison",
+    "merge_all", "set_sink", "sink_scope",
+]

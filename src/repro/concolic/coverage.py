@@ -1,0 +1,88 @@
+"""Branch coverage accounting across executions and across ranks.
+
+The paper's metric: a *branch* is one direction of one conditional —
+``[condition_id][T/F]`` — and coverage is the number of distinct branches
+executed at least once over the whole testing campaign, merged across
+**all** processes of every test (the "all recorders" half of COMPI's
+framework).
+
+"Reachable branches" (Table III) are estimated the way CREST's FAQ
+suggests: sum the static branches of every *function encountered during
+testing*; function entries are recorded by the instrumentation alongside
+branch outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+Branch = tuple[int, bool]  # (site id, outcome)
+
+
+@dataclass
+class CoverageMap:
+    """A merged set of covered branches and entered functions."""
+
+    branches: set[Branch] = field(default_factory=set)
+    functions: set[int] = field(default_factory=set)
+
+    def add_branch(self, site: int, outcome: bool) -> None:
+        self.branches.add((site, bool(outcome)))
+
+    def add_function(self, fid: int) -> None:
+        self.functions.add(fid)
+
+    def merge(self, other: "CoverageMap") -> None:
+        self.branches |= other.branches
+        self.functions |= other.functions
+
+    def merged_with(self, other: "CoverageMap") -> "CoverageMap":
+        out = CoverageMap(set(self.branches), set(self.functions))
+        out.merge(other)
+        return out
+
+    def copy(self) -> "CoverageMap":
+        return CoverageMap(set(self.branches), set(self.functions))
+
+    @property
+    def covered_branches(self) -> int:
+        return len(self.branches)
+
+    @property
+    def covered_static(self) -> int:
+        """Covered branches at *static* sites only (sid >= 0).
+
+        Implicit sites (negative ids, from symbolic bools forced outside
+        probes) have no static counterpart, so any rate against a static
+        total must exclude them or it can exceed 100%.
+        """
+        return sum(1 for (s, _d) in self.branches if s >= 0)
+
+    def covered_sites(self) -> set[int]:
+        return {s for (s, _d) in self.branches}
+
+    def rate(self, total_branches: int) -> float:
+        """Static-site coverage as a fraction of ``total_branches``."""
+        if total_branches <= 0:
+            return 0.0
+        return self.covered_static / total_branches
+
+    def reachable_branches(self, branches_per_function: Mapping[int, int]) -> int:
+        """CREST-FAQ reachable estimate: 2 × (branch sites of every
+        function entered at least once during testing)."""
+        return sum(branches_per_function.get(fid, 0) for fid in self.functions)
+
+    def __len__(self) -> int:
+        return len(self.branches)
+
+    def __contains__(self, branch: Branch) -> bool:
+        return branch in self.branches
+
+
+def merge_all(maps: Iterable[CoverageMap]) -> CoverageMap:
+    """Union of many coverage maps (the all-recorders merge)."""
+    out = CoverageMap()
+    for m in maps:
+        out.merge(m)
+    return out

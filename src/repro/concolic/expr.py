@@ -1,0 +1,181 @@
+"""Symbolic expression layer: variables, linear expressions, constraints.
+
+COMPI (via CREST) reasons in *linear integer arithmetic*: every symbolic
+value is a linear combination of marked variables, and every branch
+condition contributes a constraint ``linear-expression ⋈ 0``.  Non-linear
+operations are *concolically simplified* — one operand is replaced by its
+concrete value — which is the defining trade-off of concolic testing.
+
+The classes here are immutable values; the mutable recording state lives
+in :mod:`repro.concolic.trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional
+
+# Variable kinds (paper, Table I)
+KIND_INPUT = "input"   # developer-marked input variable
+KIND_RW = "rw"         # global rank in MPI_COMM_WORLD
+KIND_RC = "rc"         # local rank in a non-default communicator
+KIND_SW = "sw"         # size of MPI_COMM_WORLD
+#: extension beyond the paper (§III-A: "So far COMPI does not mark
+#: variables representing the size of communicators other than the
+#: default"): local communicator sizes, enabled by config flag
+KIND_SC = "sc"
+
+
+@dataclass(frozen=True)
+class Var:
+    """One symbolic variable instance within a single execution."""
+
+    vid: int
+    name: str
+    kind: str = KIND_INPUT
+    #: input capping bound (inclusive), if marked with a limit
+    cap: Optional[int] = None
+    #: lower bound (inclusive) for range/width-typed markings — the
+    #: CREST_char/CREST_short analog (caps bound only from above)
+    floor: Optional[int] = None
+    #: index of the non-default communicator (for ``rc`` variables)
+    comm_index: Optional[int] = None
+    #: concrete size of that communicator at marking time (``s_i``)
+    comm_size: Optional[int] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}#{self.vid}({self.kind})"
+
+
+class LinearExpr:
+    """Immutable linear form ``sum(coeffs[v] * v) + const`` over var ids."""
+
+    __slots__ = ("coeffs", "const")
+
+    def __init__(self, coeffs: Optional[Mapping[int, int]] = None, const: int = 0):
+        # drop zero coefficients for canonicity
+        self.coeffs: dict[int, int] = {v: c for v, c in (coeffs or {}).items() if c != 0}
+        self.const = int(const)
+
+    # -- constructors --------------------------------------------------
+    @staticmethod
+    def constant(c: int) -> "LinearExpr":
+        return LinearExpr({}, c)
+
+    @staticmethod
+    def variable(vid: int) -> "LinearExpr":
+        return LinearExpr({vid: 1}, 0)
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return not self.coeffs
+
+    def vars(self) -> frozenset[int]:
+        return frozenset(self.coeffs)
+
+    # -- arithmetic ----------------------------------------------------
+    def add(self, other: "LinearExpr") -> "LinearExpr":
+        coeffs = dict(self.coeffs)
+        for v, c in other.coeffs.items():
+            coeffs[v] = coeffs.get(v, 0) + c
+        return LinearExpr(coeffs, self.const + other.const)
+
+    def sub(self, other: "LinearExpr") -> "LinearExpr":
+        return self.add(other.scale(-1))
+
+    def scale(self, k: int) -> "LinearExpr":
+        if k == 0:
+            return LinearExpr.constant(0)
+        return LinearExpr({v: c * k for v, c in self.coeffs.items()}, self.const * k)
+
+    def shift(self, k: int) -> "LinearExpr":
+        return LinearExpr(self.coeffs, self.const + k)
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, assignment: Mapping[int, int]) -> int:
+        return self.const + sum(c * assignment[v] for v, c in self.coeffs.items())
+
+    # -- plumbing --------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, LinearExpr)
+                and self.coeffs == other.coeffs and self.const == other.const)
+
+    def __hash__(self) -> int:
+        return hash((frozenset(self.coeffs.items()), self.const))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        terms = [f"{c:+d}*v{v}" for v, c in sorted(self.coeffs.items())]
+        terms.append(f"{self.const:+d}")
+        return "".join(terms) or "0"
+
+
+# Comparison operators and their negations / swaps.
+OPS = ("<", "<=", ">", ">=", "==", "!=")
+_NEGATE = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+_EVAL = {
+    "<": lambda v: v < 0,
+    "<=": lambda v: v <= 0,
+    ">": lambda v: v > 0,
+    ">=": lambda v: v >= 0,
+    "==": lambda v: v == 0,
+    "!=": lambda v: v != 0,
+}
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """``lhs ⋈ 0`` over integer variables."""
+
+    lhs: LinearExpr
+    op: str
+
+    def __post_init__(self) -> None:
+        if self.op not in OPS:
+            raise ValueError(f"unknown comparison op {self.op!r}")
+
+    def negated(self) -> "Constraint":
+        return Constraint(self.lhs, _NEGATE[self.op])
+
+    def vars(self) -> frozenset[int]:
+        return self.lhs.vars()
+
+    def evaluate(self, assignment: Mapping[int, int]) -> bool:
+        return _EVAL[self.op](self.lhs.evaluate(assignment))
+
+    @property
+    def is_trivial(self) -> bool:
+        """Constraint with no variables (always true or always false)."""
+        return self.lhs.is_const
+
+    def normalized(self) -> list["Constraint"]:
+        """Rewrite into the solver's canonical ops {<=, ==, !=}.
+
+        Integer-only: strict inequalities absorb into the constant.
+        ``a < 0``  → ``a + 1 <= 0``;  ``a > 0`` → ``-a + 1 <= 0``;
+        ``a >= 0`` → ``-a <= 0``.
+        """
+        lhs, op = self.lhs, self.op
+        if op == "<":
+            return [Constraint(lhs.shift(1), "<=")]
+        if op == ">":
+            return [Constraint(lhs.scale(-1).shift(1), "<=")]
+        if op == ">=":
+            return [Constraint(lhs.scale(-1), "<=")]
+        return [self]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.lhs!r} {self.op} 0)"
+
+
+def make_comparison(lhs: LinearExpr, op: str, rhs: LinearExpr) -> Constraint:
+    """Build the constraint for ``lhs ⋈ rhs`` as ``(lhs - rhs) ⋈ 0``."""
+    return Constraint(lhs.sub(rhs), op)
+
+
+def constraint_vars(constraints: Iterable[Constraint]) -> frozenset[int]:
+    """Union of the variable ids referenced by the constraints."""
+    out: set[int] = set()
+    for c in constraints:
+        out |= c.vars()
+    return frozenset(out)

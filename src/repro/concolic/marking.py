@@ -1,0 +1,73 @@
+"""Developer marking interface (the ``CREST_int`` / ``COMPI_int_with_limit``
+analog, §II-A and §IV-A).
+
+Target programs mark their execution-path-dominant input variables::
+
+    n = compi_int(args["n"], "n")
+    nb = compi_int_with_limit(args["nb"], "nb", cap=300)
+
+On the focus rank (heavy sink installed) the value comes back wrapped in a
+:class:`~repro.concolic.sym.SymInt`, and the cap is registered with the
+variable so COMPI feeds ``x <= cap`` to the solver alongside the path
+condition.  On non-focus ranks (light or no sink) the plain integer comes
+back — marking costs nothing there, which is the point of two-way
+instrumentation.
+
+COMPI does not handle floating-point variables (§VI); targets take float
+parameters as unmarked constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Union
+
+from .context import current_sink
+from .sym import SymInt
+
+
+def compi_int(value: Any, name: str) -> Union[int, SymInt]:
+    """Mark ``value`` (an input read by the program) as symbolic."""
+    sink = current_sink()
+    if sink is not None and hasattr(sink, "mark_input"):
+        return sink.mark_input(name, int(value))
+    return int(value)
+
+
+def compi_int_with_limit(value: Any, name: str, cap: int) -> Union[int, SymInt]:
+    """Mark ``value`` symbolic with an input cap (``value`` may exceed the
+    cap concretely — the cap constrains *future generated* inputs)."""
+    sink = current_sink()
+    if sink is not None and hasattr(sink, "mark_input"):
+        return sink.mark_input(name, int(value), cap=int(cap))
+    return int(value)
+
+
+def compi_int_with_range(value: Any, name: str, lo: int,
+                         hi: int) -> Union[int, SymInt]:
+    """Mark with a two-sided bound — generated inputs stay in [lo, hi]."""
+    if int(lo) > int(hi):
+        raise ValueError(f"{name}: empty range [{lo}, {hi}]")
+    sink = current_sink()
+    if sink is not None and hasattr(sink, "mark_input"):
+        return sink.mark_input(name, int(value), cap=int(hi), floor=int(lo))
+    return int(value)
+
+
+def compi_char(value: Any, name: str) -> Union[int, SymInt]:
+    """CREST_char analog: a signed 8-bit input."""
+    return compi_int_with_range(value, name, -128, 127)
+
+
+def compi_uchar(value: Any, name: str) -> Union[int, SymInt]:
+    """CREST_unsigned_char analog: an unsigned 8-bit input."""
+    return compi_int_with_range(value, name, 0, 255)
+
+
+def compi_short(value: Any, name: str) -> Union[int, SymInt]:
+    """CREST_short analog: a signed 16-bit input."""
+    return compi_int_with_range(value, name, -(2 ** 15), 2 ** 15 - 1)
+
+
+def compi_ushort(value: Any, name: str) -> Union[int, SymInt]:
+    """CREST_unsigned_short analog: an unsigned 16-bit input."""
+    return compi_int_with_range(value, name, 0, 2 ** 16 - 1)

@@ -1,0 +1,23 @@
+"""COMPI core: configuration, the testing loop, runner, reporting."""
+
+from .compi import BugRecord, CampaignResult, Compi, IterationRecord
+from .config import CompiConfig
+from .conflicts import TestSetup, resolve_setup
+from .runner import (ErrorInfo, KIND_ABORT, KIND_ASSERT, KIND_CRASH, KIND_FPE,
+                     KIND_HANG, KIND_MPI, KIND_SEGFAULT, RunRecord, TestRunner,
+                     classify_run)
+from .report import campaign_summary, format_table, size_histogram
+from .semantics import (capping_constraints, mpi_semantic_constraints,
+                        solver_domains)
+from .testcase import (InputSpec, TestCase, default_testcase, random_testcase,
+                       specs_from_module)
+
+__all__ = [
+    "BugRecord", "CampaignResult", "Compi", "CompiConfig", "ErrorInfo",
+    "InputSpec", "IterationRecord", "KIND_ABORT", "KIND_ASSERT", "KIND_CRASH",
+    "KIND_FPE", "KIND_HANG", "KIND_MPI", "KIND_SEGFAULT", "RunRecord",
+    "TestCase", "TestRunner", "TestSetup", "campaign_summary",
+    "capping_constraints", "classify_run", "default_testcase", "format_table",
+    "mpi_semantic_constraints", "random_testcase", "resolve_setup",
+    "size_histogram", "solver_domains", "specs_from_module",
+]

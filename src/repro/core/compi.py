@@ -1,0 +1,303 @@
+"""COMPI: the iterative concolic testing loop (§II-A work flow).
+
+One campaign = one instrumented target + one configuration.  Each
+iteration:
+
+1. launch the target with the current test case — ``nprocs`` ranks, the
+   focus rank heavy, the rest light (two-way instrumentation, MPMD
+   launch);
+2. merge branch coverage from **all** ranks; classify and log any error
+   with its error-inducing inputs;
+3. hand the focus path to the search strategy, which picks a constraint
+   to negate;
+4. solve the negated prefix + inherent MPI constraints + caps
+   incrementally; derive the next inputs, the next process count (``sw``)
+   and the next focus (most-up-to-date rank value, local ranks translated
+   through the runtime mapping table);
+5. repeat until the iteration/time budget runs out.
+
+When an execution yields no usable path (e.g. a bug fires before any
+symbolic branch) COMPI restarts from fresh random inputs, as the paper
+describes doing for SUSY-HMC's early bugs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ..concolic.coverage import CoverageMap
+from ..concolic.trace import TraceResult
+from ..instrument.loader import InstrumentedProgram
+from ..search.base import SearchStrategy, StrategyContext
+from ..search.dfs import TwoPhaseDFS
+from ..solver.incremental import solve_incremental
+from ..solver.search import Solver
+from .config import CompiConfig
+from .conflicts import TestSetup, resolve_setup
+from .runner import RunRecord, TestRunner
+from .semantics import (capping_constraints, mpi_semantic_constraints,
+                        solver_domains)
+from .testcase import InputSpec, TestCase, random_testcase, specs_from_module
+
+
+@dataclass
+class BugRecord:
+    """One logged error-inducing input (§V: COMPI logs these for analysis)."""
+
+    kind: str
+    message: str
+    global_rank: int
+    testcase: TestCase
+    iteration: int
+    location: str = ""   # crash site "file:line:function" when known
+
+    @property
+    def dedup_key(self) -> tuple[str, str]:
+        return (self.kind, self.location or self.message[:120])
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration telemetry (feeds every figure/table reproduction)."""
+
+    iteration: int
+    origin: str
+    nprocs: int
+    focus: int
+    path_len: int               # constraint set size this execution
+    event_count: int
+    covered_after: int
+    error_kind: Optional[str]
+    wall_time: float
+    elapsed: float              # campaign time at end of iteration
+    negated_site: Optional[int] = None
+    focus_log_size: int = 0
+    nonfocus_log_avg: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of a whole testing campaign."""
+
+    program_name: str
+    coverage: CoverageMap
+    total_branches: int
+    branches_per_function: dict[int, int]
+    bugs: list[BugRecord]
+    iterations: list[IterationRecord]
+    wall_time: float
+    divergences: int = 0
+
+    @property
+    def covered(self) -> int:
+        return self.coverage.covered_branches
+
+    @property
+    def reachable_branches(self) -> int:
+        return self.coverage.reachable_branches(self.branches_per_function)
+
+    @property
+    def coverage_rate(self) -> float:
+        """Coverage over the *reachable* estimate, as in Tables V/VI."""
+        reach = self.reachable_branches
+        return self.coverage.rate(reach) if reach else 0.0
+
+    def unique_bugs(self) -> list[BugRecord]:
+        seen: set = set()
+        out: list[BugRecord] = []
+        for b in self.bugs:
+            if b.dedup_key not in seen:
+                seen.add(b.dedup_key)
+                out.append(b)
+        return out
+
+    def constraint_set_sizes(self) -> list[int]:
+        """One entry per iteration — the Fig. 9 distribution."""
+        return [r.path_len for r in self.iterations]
+
+    def coverage_timeline(self) -> list[tuple[float, int]]:
+        return [(r.elapsed, r.covered_after) for r in self.iterations]
+
+
+class Compi:
+    """The testing tool: drives iterative concolic testing of one target."""
+
+    def __init__(self, program: InstrumentedProgram,
+                 config: Optional[CompiConfig] = None,
+                 strategy: Optional[SearchStrategy] = None,
+                 specs: Optional[dict[str, InputSpec]] = None):
+        self.program = program
+        self.config = config or CompiConfig()
+        cfg = self.config
+        self.specs = specs or specs_from_module(program.modules[program.entry_module])
+        self.rng = np.random.default_rng(cfg.rng_seed(1))
+        self.solver = Solver(rng=np.random.default_rng(cfg.rng_seed(2)),
+                             node_limit=cfg.solver_node_limit)
+        self.strategy = strategy or TwoPhaseDFS(
+            observe_iterations=cfg.observe_iterations,
+            fixed_bound=cfg.fixed_depth_bound, slack=cfg.bound_slack,
+            rng=np.random.default_rng(cfg.rng_seed(3)))
+        self.runner = TestRunner(program, cfg)
+        self.coverage = CoverageMap()
+        self.bugs: list[BugRecord] = []
+        self.records: list[IterationRecord] = []
+        self._caps: dict[str, int] = {}
+        self._iteration = 0
+        self._restarts = 0
+        initial = TestSetup(nprocs=min(cfg.init_nprocs, cfg.nprocs_cap),
+                            focus=cfg.init_focus)
+        self._initial_setup = initial
+        self._next: TestCase = random_testcase(self.specs, initial, self.rng)
+        #: (previous path, negated position) for divergence detection: if
+        #: the next execution does not actually flip the predicted branch
+        #: (common when reduction collapsed a loop), the flip is marked
+        #: tried so DFS makes progress instead of re-negating forever
+        self._expect: Optional[tuple[list, int]] = None
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: Optional[int] = None,
+            time_budget: Optional[float] = None) -> CampaignResult:
+        """Run until the iteration count or wall-clock budget is spent."""
+        if iterations is None and time_budget is None:
+            raise ValueError("give an iteration or time budget")
+        start = time.monotonic()
+        done = 0
+        while True:
+            if iterations is not None and done >= iterations:
+                break
+            if time_budget is not None and time.monotonic() - start >= time_budget:
+                break
+            self._one_iteration(start)
+            done += 1
+        return CampaignResult(
+            program_name=self.program.name,
+            coverage=self.coverage,
+            total_branches=self.program.registry.total_branches,
+            branches_per_function=self.program.registry.branches_per_function(),
+            bugs=self.bugs,
+            iterations=self.records,
+            wall_time=time.monotonic() - start,
+            divergences=self.strategy.tree.divergences,
+        )
+
+    # ------------------------------------------------------------------
+    def _one_iteration(self, campaign_start: float) -> None:
+        tc = self._next
+        rec = self.runner.run(tc)
+        self.coverage.merge(rec.coverage)
+        if rec.error is not None:
+            self.bugs.append(BugRecord(
+                kind=rec.error.kind, message=rec.error.message,
+                global_rank=rec.error.global_rank, testcase=tc,
+                iteration=self._iteration, location=rec.error.location))
+        trace = rec.trace
+        if trace is not None:
+            for var in trace.vars:
+                if var.kind == "input" and var.cap is not None:
+                    self._caps[var.name] = var.cap
+            self._check_divergence(trace)
+            self.strategy.register_execution(trace.path)
+        nonfocus_avg = (sum(rec.nonfocus_log_sizes) / len(rec.nonfocus_log_sizes)
+                        if rec.nonfocus_log_sizes else 0.0)
+        next_tc = self._derive_next(tc, trace, rec)
+        self.records.append(IterationRecord(
+            iteration=self._iteration, origin=tc.origin,
+            nprocs=tc.setup.nprocs, focus=tc.setup.focus,
+            path_len=len(trace.path) if trace else 0,
+            event_count=trace.event_count if trace else 0,
+            covered_after=self.coverage.covered_branches,
+            error_kind=rec.error.kind if rec.error else None,
+            wall_time=rec.wall_time,
+            elapsed=time.monotonic() - campaign_start,
+            negated_site=next_tc.negated_site,
+            focus_log_size=rec.focus_log_size,
+            nonfocus_log_avg=nonfocus_avg,
+        ))
+        self._next = next_tc
+        self._iteration += 1
+
+    # ------------------------------------------------------------------
+    def _check_divergence(self, trace: TraceResult) -> None:
+        """Did the last negation actually flip the predicted branch?
+
+        CREST calls a mismatch a *divergence*.  We mark the attempted flip
+        as tried (infeasible-for-now) so the systematic strategies move on
+        — without this, negating a reduction-collapsed loop-exit
+        constraint reproduces an identical-looking path forever.
+        """
+        if self._expect is None:
+            return
+        old_path, pos = self._expect
+        self._expect = None
+        if not self.config.divergence_detection:
+            return
+        actual = trace.path
+        flipped = (
+            len(actual) > pos
+            and all(a.site == e.site and a.outcome == e.outcome
+                    for a, e in zip(actual[:pos], old_path[:pos]))
+            and actual[pos].site == old_path[pos].site
+            and actual[pos].outcome == (not old_path[pos].outcome)
+        )
+        if not flipped:
+            self.strategy.tree.note_divergence()
+            self.strategy.mark_infeasible(old_path, pos)
+
+    def _restart(self) -> TestCase:
+        # concolic-simplification verdicts are stale after a restart
+        self.strategy.tree.clear_infeasible()
+        self._restarts += 1
+        if self.config.restart_with_defaults and self._restarts % 2 == 1:
+            inputs = {n: s.default for n, s in self.specs.items()}
+            return TestCase(inputs=inputs, setup=self._initial_setup,
+                            origin="restart")
+        return random_testcase(self.specs, self._initial_setup, self.rng,
+                               caps=self._caps, origin="restart")
+
+    def _derive_next(self, tc: TestCase, trace: Optional[TraceResult],
+                     rec: RunRecord) -> TestCase:
+        cfg = self.config
+        if trace is None or not trace.path:
+            return self._restart()
+        if rec.error is not None and len(trace.path) <= cfg.trivial_path_threshold:
+            # early crash before meaningful symbolic work: redo with random
+            # inputs (the paper's SUSY-HMC workflow)
+            return self._restart()
+
+        path = trace.path
+        semantics = mpi_semantic_constraints(trace, cfg)
+        caps = capping_constraints(trace)
+        bounds = {n: (s.lo, s.hi) for n, s in self.specs.items()}
+        domains = solver_domains(trace, cfg, input_bounds=bounds)
+        ctx = StrategyContext(path=path, coverage=self.coverage,
+                              iteration=self._iteration)
+
+        for pos in self.strategy.propose(ctx):
+            prefix = [pe.constraint for pe in path[:pos]]
+            negated = path[pos].constraint.negated()
+            res = solve_incremental(prefix + semantics + caps, negated,
+                                    domains, previous=dict(trace.values),
+                                    solver=self.solver)
+            if res is None:
+                self.strategy.mark_infeasible(path, pos)
+                continue
+            new_inputs = {name: int(res.assignment[vid])
+                          for name, vid in trace.input_vids.items()}
+            inputs = {**tc.inputs, **new_inputs}
+            # A full-context incremental solver (Yices) would keep every
+            # cap constraint in scope; our dependency slice can drop a
+            # capped variable, letting a stale over-cap value survive.
+            # Clamp to the discovered caps to restore the §IV-A semantics.
+            for name, cap in self._caps.items():
+                if name in inputs and inputs[name] > cap:
+                    inputs[name] = cap
+            setup = resolve_setup(trace, res.assignment, res.changed,
+                                  tc.setup, cfg)
+            self._expect = (path, pos)
+            return TestCase(inputs=inputs, setup=setup, origin="negation",
+                            negated_site=path[pos].site)
+        return self._restart()

@@ -1,0 +1,79 @@
+"""COMPI configuration: every knob the paper's evaluation turns.
+
+The defaults mirror the paper's experiment setup (§VI): 8 initial
+processes, focus at global rank 0, process count capped at 16 via input
+capping, two-phase DFS with a per-program observation window, constraint
+set reduction on, two-way instrumentation on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+
+@dataclass
+class CompiConfig:
+    """Knobs for one testing campaign."""
+
+    # -- reproducibility ------------------------------------------------
+    seed: int = 0
+
+    # -- test setup (§III-D, §VI) ----------------------------------------
+    init_nprocs: int = 8
+    init_focus: int = 0
+    #: cap on the derived number of processes ("restricted to no bigger
+    #: than 16 via input capping")
+    nprocs_cap: int = 16
+
+    # -- search strategy (§II-B) -----------------------------------------
+    #: pure-DFS iterations before switching to BoundedDFS
+    observe_iterations: int = 50
+    #: phase-2 depth bound; None derives it from the observed maximum
+    fixed_depth_bound: Optional[int] = None
+    #: multiplier over the observed maximum when deriving the bound
+    bound_slack: float = 1.2
+
+    # -- cost controls (§IV) -----------------------------------------------
+    #: constraint set reduction (§IV-C)
+    reduction: bool = True
+    #: two-way instrumentation (§IV-B); False = all ranks run heavy (1-way)
+    two_way: bool = True
+    #: heavy ranks keep a raw event log (the I/O measured in Table IV)
+    log_events: bool = True
+
+    # -- framework (§III); False = standard concolic testing (No_Fwk) ----
+    framework: bool = True
+    #: EXTENSION beyond the paper: also mark non-default communicator
+    #: sizes symbolic (§III-A leaves them unmarked).  Adds `sc` variables
+    #: with 1 <= s_i <= z0 and symbolic y_i < s_i bounds.
+    mark_comm_sizes: bool = False
+
+    # -- input generation ----------------------------------------------------
+    #: default integer domain for marked inputs without tighter spec bounds
+    input_min: int = -(2 ** 15)
+    input_max: int = 2 ** 15
+
+    # -- budgets & safety -------------------------------------------------
+    #: wall-clock limit for a single test execution (hang detection)
+    test_timeout: float = 10.0
+    #: solver search-node budget per negation attempt
+    solver_node_limit: int = 20_000
+    #: restart with random inputs when an erroring execution produced a
+    #: trivially short constraint set (paper: "redo the testing")
+    trivial_path_threshold: int = 2
+    #: alternate restarts between the target's declared default inputs (a
+    #: known-good configuration, like a stock HPL.dat) and random inputs
+    restart_with_defaults: bool = True
+    #: mark a flip as tried when the follow-up execution does not actually
+    #: take it (CREST's divergence handling).  Disabling this is only for
+    #: the ablation benchmark: DFS then re-negates reduction-collapsed
+    #: loop exits forever.
+    divergence_detection: bool = True
+
+    def rng_seed(self, salt: int = 0) -> int:
+        return (self.seed * 1_000_003 + salt) % (2 ** 31)
+
+    def with_(self, **kwargs) -> "CompiConfig":
+        """Functional update (used by the ablation benchmarks)."""
+        return replace(self, **kwargs)

@@ -1,0 +1,76 @@
+"""Conflict resolution and next-test setup derivation (§III-C, §III-D).
+
+After an incremental solve, the rank-typed variables (``rw``, ``rc``) may
+disagree about which process the next focus should be: the solver only
+re-solved the dependency slice, so stale variables keep old values while
+the variable in the negated constraint moved.  The paper's rule: trust
+the **most up-to-date value** — precisely the variables reported as
+*changed* by the incremental solver.
+
+* an ``rw`` change *is* the new focus's global rank;
+* an ``rc`` change is a *local* rank and is translated through the
+  mapping table the focus recorded at runtime (Table II): row =
+  communicator index, column = local rank, cell = global rank;
+* no rank change → the focus stays.
+
+The derived world-size value (``sw``) becomes the next test's process
+count, and the focus is clamped into it (guards around mapping-table
+misses keep the tool robust where the paper assumes well-formed data).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..concolic.expr import KIND_RC, KIND_RW, KIND_SW
+from ..concolic.trace import TraceResult
+from .config import CompiConfig
+
+
+@dataclass(frozen=True)
+class TestSetup:
+    """The launch-time half of a test case (§III-D)."""
+
+    #: not a pytest class, despite the name
+    __test__ = False
+
+    nprocs: int
+    focus: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.focus < self.nprocs):
+            raise ValueError(f"focus {self.focus} outside 0..{self.nprocs - 1}")
+
+
+def resolve_setup(trace: TraceResult, assignment: dict[int, int],
+                  changed: set[int], current: TestSetup,
+                  config: CompiConfig) -> TestSetup:
+    """Derive the next (nprocs, focus) from a solved assignment."""
+    # --- number of processes: the derived sw value ---------------------
+    nprocs = current.nprocs
+    for var in trace.vars_by_kind(KIND_SW):
+        if var.vid in assignment:
+            nprocs = int(assignment[var.vid])
+            break
+    nprocs = max(1, min(nprocs, config.nprocs_cap))
+
+    # --- focus: most up-to-date rank value ------------------------------
+    focus = current.focus
+    rw_changed = [v for v in trace.vars_by_kind(KIND_RW) if v.vid in changed]
+    rc_changed = [v for v in trace.vars_by_kind(KIND_RC) if v.vid in changed]
+    if rw_changed:
+        focus = int(assignment[rw_changed[0].vid])
+    elif rc_changed:
+        var = rc_changed[0]
+        local_rank = int(assignment[var.vid])
+        row = (trace.mapping_rows[var.comm_index]
+               if var.comm_index is not None and
+               var.comm_index < len(trace.mapping_rows) else ())
+        if 0 <= local_rank < len(row):
+            focus = int(row[local_rank])
+        # else: mapping miss — the communicator layout will differ in the
+        # next run anyway; keep the current focus (robustness guard)
+
+    focus = max(0, min(focus, nprocs - 1))
+    return TestSetup(nprocs=nprocs, focus=focus)

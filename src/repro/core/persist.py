@@ -1,0 +1,141 @@
+"""Campaign persistence: JSONL logs of iterations, bugs, and coverage.
+
+The paper's work flow logs symbolic execution history "in a file" after
+each execution and reads it back to drive the next test (§I-A); the tool
+also "logs the derived error-inducing input for further analysis" (§V).
+This module provides the durable form of both: a streaming JSONL log a
+campaign can write as it runs, and a loader that reconstructs enough
+state to analyse or resume reporting offline.
+
+Format: one JSON object per line, discriminated by ``"type"``:
+
+* ``meta``      — program name, config snapshot, totals
+* ``iteration`` — one IterationRecord
+* ``bug``       — one BugRecord with its error-inducing inputs
+* ``coverage``  — final covered branch list (written once at the end)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Iterator, Optional, TextIO, Union
+
+from .compi import BugRecord, CampaignResult, IterationRecord
+from .config import CompiConfig
+from .conflicts import TestSetup
+from .testcase import TestCase
+
+
+class CampaignLog:
+    """Streaming writer for campaign telemetry."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh: Optional[TextIO] = None
+
+    def __enter__(self) -> "CampaignLog":
+        self._fh = self.path.open("w", encoding="utf-8")
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def _write(self, obj: dict) -> None:
+        if self._fh is None:
+            raise RuntimeError("CampaignLog used outside its context")
+        self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def write_meta(self, program_name: str, config: CompiConfig,
+                   total_branches: int) -> None:
+        self._write({"type": "meta", "program": program_name,
+                     "config": dataclasses.asdict(config),
+                     "total_branches": total_branches})
+
+    def write_iteration(self, rec: IterationRecord) -> None:
+        self._write({"type": "iteration", **dataclasses.asdict(rec)})
+
+    def write_bug(self, bug: BugRecord) -> None:
+        self._write({
+            "type": "bug", "kind": bug.kind, "message": bug.message,
+            "global_rank": bug.global_rank, "iteration": bug.iteration,
+            "location": bug.location,
+            "inputs": dict(bug.testcase.inputs),
+            "nprocs": bug.testcase.setup.nprocs,
+            "focus": bug.testcase.setup.focus,
+        })
+
+    def write_coverage(self, result: CampaignResult) -> None:
+        self._write({
+            "type": "coverage",
+            "branches": sorted([s, int(d)] for (s, d) in
+                               result.coverage.branches),
+            "functions": sorted(result.coverage.functions),
+            "covered_static": result.coverage.covered_static,
+            "reachable": result.reachable_branches,
+            "wall_time": result.wall_time,
+        })
+
+    def write_result(self, result: CampaignResult,
+                     config: Optional[CompiConfig] = None) -> None:
+        """Dump a finished campaign in one call."""
+        self.write_meta(result.program_name, config or CompiConfig(),
+                        result.total_branches)
+        for rec in result.iterations:
+            self.write_iteration(rec)
+        for bug in result.bugs:
+            self.write_bug(bug)
+        self.write_coverage(result)
+
+
+def save_campaign(result: CampaignResult, path: Union[str, Path],
+                  config: Optional[CompiConfig] = None) -> Path:
+    """Write a finished campaign to ``path`` as a JSONL log."""
+    path = Path(path)
+    with CampaignLog(path) as log:
+        log.write_result(result, config)
+    return path
+
+
+def read_records(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield the raw JSON objects of a campaign log, line by line."""
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def load_campaign(path: Union[str, Path]) -> dict:
+    """Reconstruct a campaign summary from a JSONL log.
+
+    Returns a dict with ``meta``, ``iterations`` (IterationRecord list),
+    ``bugs`` (BugRecord list) and ``coverage`` (raw dict).
+    """
+    meta: Optional[dict] = None
+    iterations: list[IterationRecord] = []
+    bugs: list[BugRecord] = []
+    coverage: Optional[dict] = None
+    for obj in read_records(path):
+        kind = obj.pop("type")
+        if kind == "meta":
+            meta = obj
+        elif kind == "iteration":
+            iterations.append(IterationRecord(**obj))
+        elif kind == "bug":
+            tc = TestCase(inputs=obj["inputs"],
+                          setup=TestSetup(obj["nprocs"], obj["focus"]))
+            bugs.append(BugRecord(kind=obj["kind"], message=obj["message"],
+                                  global_rank=obj["global_rank"],
+                                  testcase=tc, iteration=obj["iteration"],
+                                  location=obj.get("location", "")))
+        elif kind == "coverage":
+            coverage = obj
+        else:  # pragma: no cover - forward compatibility
+            continue
+    return {"meta": meta, "iterations": iterations, "bugs": bugs,
+            "coverage": coverage}

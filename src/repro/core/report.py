@@ -1,0 +1,56 @@
+"""Plain-text reporting for campaigns (what the benchmarks print)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .compi import CampaignResult
+
+
+def campaign_summary(result: CampaignResult) -> str:
+    """Human-readable multi-line summary of one campaign."""
+    lines = [
+        f"program            : {result.program_name}",
+        f"iterations         : {len(result.iterations)}",
+        f"wall time          : {result.wall_time:.2f}s",
+        f"covered branches   : {result.covered}",
+        f"total branches     : {result.total_branches}",
+        f"reachable branches : {result.reachable_branches}",
+        f"coverage rate      : {100 * result.coverage_rate:.1f}% of reachable",
+        f"unique bugs        : {len(result.unique_bugs())}",
+        f"divergences        : {result.divergences}",
+    ]
+    for b in result.unique_bugs():
+        lines.append(f"  bug[{b.kind}] rank {b.global_rank}: {b.message[:90]}")
+        lines.append(f"    inputs: {b.testcase.describe()}")
+    return "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Fixed-width text table used by every benchmark's output."""
+    srows = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    out.append(sep)
+    for row in srows:
+        out.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def size_histogram(sizes: Sequence[int],
+                   edges: Sequence[int] = (0, 100, 300, 500, 1000, 2000, 5000,
+                                           10 ** 9)) -> list[tuple[str, int]]:
+    """Bucket constraint-set sizes for the Fig. 9 distribution."""
+    out = []
+    for lo, hi in zip(edges, edges[1:]):
+        label = f"[{lo},{hi})" if hi < 10 ** 9 else f">={lo}"
+        out.append((label, sum(1 for s in sizes if lo <= s < hi)))
+    return out

@@ -1,0 +1,206 @@
+"""Single-test execution: launch, collect, classify.
+
+One COMPI iteration launches the target MPMD-style (heavy focus + light
+others), waits (with the hang-detection timeout), then harvests:
+
+* the focus rank's :class:`~repro.concolic.trace.TraceResult` (path,
+  variables, mapping table) — what drives input generation;
+* merged coverage — across **all** ranks when the framework is on,
+  focus-only when it is off (the No_Fwk baseline);
+* per-rank serialized log sizes (the I/O of Table IV);
+* an error classification matching the paper's bug surface: assertion
+  violations, segmentation faults, floating-point exceptions, aborts,
+  and hangs (timeouts).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..concolic.context import sink_scope
+from ..concolic.coverage import CoverageMap, merge_all
+from ..concolic.trace import HeavySink, LightSink, TraceResult
+from ..instrument.loader import InstrumentedProgram
+from ..mpi.errors import MpiAbort, MpiInternalError
+from ..mpi.runtime import JobResult, run_job
+from ..targets.cmem import SegfaultError
+from .config import CompiConfig
+from .testcase import TestCase
+
+#: error kinds reported by the classifier
+KIND_ASSERT = "assertion"
+KIND_SEGFAULT = "segfault"
+KIND_FPE = "floating-point-exception"
+KIND_HANG = "hang"
+KIND_ABORT = "abort"
+KIND_MPI = "mpi-error"
+KIND_CRASH = "crash"
+
+
+@dataclass(frozen=True)
+class ErrorInfo:
+    kind: str
+    global_rank: int
+    message: str
+    traceback: str = ""
+    #: "file:line:function" of the deepest frame (bug-dedup anchor)
+    location: str = ""
+
+
+#: frames from these files are runtime helpers, not bug sites — the
+#: emulated-malloc raise lives in cmem.py, but the *bug* is its caller
+_HELPER_FILES = ("cmem.py",)
+
+
+def crash_location(tb_text: str) -> str:
+    """Extract the deepest non-helper frame from a formatted traceback.
+
+    Three distinct wrong-``sizeof`` allocations all raise inside the
+    shared ``cmem.store`` helper; deduplication must anchor on the
+    *allocation site* (the caller), or the paper's three segfaults would
+    collapse into one.
+    """
+    frames: list[str] = []
+    for line in tb_text.splitlines():
+        line = line.strip()
+        if line.startswith("File "):
+            try:
+                path, lineno, func = line.split(", ")
+                frames.append(
+                    f"{path.split('/')[-1].rstrip(chr(34))}:"
+                    f"{lineno.removeprefix('line ')}:"
+                    f"{func.removeprefix('in ')}")
+            except ValueError:
+                continue
+    for loc in reversed(frames):
+        if not any(loc.startswith(h + ":") for h in _HELPER_FILES):
+            return loc
+    return frames[-1] if frames else ""
+
+
+@dataclass
+class RunRecord:
+    """Everything harvested from one test execution."""
+
+    testcase: TestCase
+    job: JobResult
+    trace: Optional[TraceResult]
+    coverage: CoverageMap
+    error: Optional[ErrorInfo]
+    focus_log_size: int = 0
+    nonfocus_log_sizes: list[int] = field(default_factory=list)
+    wall_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def classify_exception(exc: BaseException) -> str:
+    """Map a Python exception to the paper's error taxonomy."""
+    if isinstance(exc, AssertionError):
+        return KIND_ASSERT
+    if isinstance(exc, (SegfaultError, IndexError, MemoryError)):
+        return KIND_SEGFAULT
+    if isinstance(exc, (ZeroDivisionError, FloatingPointError, OverflowError)):
+        return KIND_FPE
+    if isinstance(exc, MpiAbort):
+        return KIND_ABORT
+    if isinstance(exc, MpiInternalError):
+        return KIND_MPI
+    return KIND_CRASH
+
+
+def classify_run(job: JobResult) -> Optional[ErrorInfo]:
+    """Map a job result to the paper's error taxonomy (None = clean)."""
+    if job.timed_out:
+        return ErrorInfo(kind=KIND_HANG, global_rank=-1,
+                         message="test exceeded its timeout (hang/infinite loop)")
+    first = job.first_error()
+    if first is not None:
+        return ErrorInfo(kind=classify_exception(first.error),
+                         global_rank=first.global_rank,
+                         message=repr(first.error),
+                         traceback=first.error_traceback,
+                         location=crash_location(first.error_traceback))
+    if job.abort_code not in (None, 0):
+        return ErrorInfo(kind=KIND_ABORT, global_rank=job.abort_origin or -1,
+                         message=f"MPI_Abort({job.abort_code})")
+    # A nonzero exit code is an error-inducing input per the paper (§V).
+    for out in job.outcomes:
+        if out.ok and out.exit_code not in (None, 0):
+            return None  # sanity-check rejections return 1; not a bug
+    return None
+
+
+class TestRunner:
+    """Launches instrumented tests for one target program."""
+
+    #: not a pytest class, despite the name
+    __test__ = False
+
+    def __init__(self, program: InstrumentedProgram, config: CompiConfig):
+        self.program = program
+        self.config = config
+
+    def _make_sinks(self, testcase: TestCase) -> list[Any]:
+        cfg = self.config
+        sinks: list[Any] = []
+        for rank in range(testcase.setup.nprocs):
+            if rank == testcase.setup.focus:
+                sinks.append(HeavySink(global_rank=rank,
+                                       reduction=cfg.reduction,
+                                       log_events=cfg.log_events,
+                                       mark_mpi=cfg.framework,
+                                       mark_comm_sizes=cfg.mark_comm_sizes))
+            elif cfg.two_way:
+                sinks.append(LightSink(global_rank=rank))
+            else:
+                # one-way instrumentation: everyone runs the heavy build
+                sinks.append(HeavySink(global_rank=rank,
+                                       reduction=cfg.reduction,
+                                       log_events=cfg.log_events,
+                                       mark_mpi=cfg.framework,
+                                       mark_comm_sizes=cfg.mark_comm_sizes))
+        return sinks
+
+    def run(self, testcase: TestCase) -> RunRecord:
+        entry = self.program.entry
+        inputs = dict(testcase.inputs)
+
+        def rank_entry(mpi):
+            # install this rank's recorder for the thread's lifetime
+            with sink_scope(mpi.sink):
+                return entry(mpi, dict(inputs))
+
+        sinks = self._make_sinks(testcase)
+        t0 = time.monotonic()
+        job = run_job([rank_entry] * testcase.setup.nprocs, sinks=sinks,
+                      timeout=self.config.test_timeout)
+        wall = time.monotonic() - t0
+
+        focus = testcase.setup.focus
+        focus_sink: HeavySink = sinks[focus]
+        trace = focus_sink.result()
+
+        if self.config.framework:
+            coverage = merge_all(s.coverage for s in sinks)
+        else:
+            # No_Fwk records the focus process only (§VI-E)
+            coverage = sinks[focus].coverage.copy()
+
+        log_sizes = [len(s.serialize()) for s in sinks]
+        nonfocus = [n for r, n in enumerate(log_sizes) if r != focus]
+
+        return RunRecord(
+            testcase=testcase,
+            job=job,
+            trace=trace,
+            coverage=coverage,
+            error=classify_run(job),
+            focus_log_size=log_sizes[focus],
+            nonfocus_log_sizes=nonfocus,
+            wall_time=wall,
+        )

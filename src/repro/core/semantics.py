@@ -1,0 +1,115 @@
+"""MPI-semantics constraint insertion (§III-B) and solver domains.
+
+Before solving, COMPI adds the inherent relations among the auto-marked
+variables so the solver cannot produce invalid launches (e.g. a global
+rank not smaller than the world size).  With ``x_i`` the ``rw`` variables,
+``z_i`` the ``sw`` variables and ``y_i`` the ``rc`` variables (local size
+``s_i`` is a concrete runtime value), the inserted set is the union of::
+
+    { x0 - xi = 0 }            all global-rank marks agree
+    { z0 - zi = 0 }            all world-size marks agree
+    { x0 - z0 < 0 }            rank < size
+    { yi - si < 0 }            local rank < its communicator's size
+    { yi >= 0 }  { x0 >= 0 }  { z0 > 0 }
+
+plus the input-capping constraints ``x <= cap`` (§IV-A) and the process
+cap ``z0 <= nprocs_cap`` (how the evaluation keeps jobs under 16 ranks).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..concolic.expr import (KIND_INPUT, KIND_RC, KIND_RW, KIND_SC, KIND_SW,
+                             Constraint, LinearExpr, Var)
+from ..concolic.trace import TraceResult
+from ..solver.intervals import Box
+from .config import CompiConfig
+
+
+def mpi_semantic_constraints(trace: TraceResult,
+                             config: CompiConfig) -> list[Constraint]:
+    """The inherent MPI constraints for one execution's variable set."""
+    out: list[Constraint] = []
+    rws = trace.vars_by_kind(KIND_RW)
+    sws = trace.vars_by_kind(KIND_SW)
+    rcs = trace.vars_by_kind(KIND_RC)
+
+    def v(var: Var) -> LinearExpr:
+        return LinearExpr.variable(var.vid)
+
+    if rws:
+        x0 = rws[0]
+        for xi in rws[1:]:
+            out.append(Constraint(v(x0).sub(v(xi)), "=="))
+        out.append(Constraint(v(x0).scale(-1), "<="))                # x0 >= 0
+    if sws:
+        z0 = sws[0]
+        for zi in sws[1:]:
+            out.append(Constraint(v(z0).sub(v(zi)), "=="))
+        out.append(Constraint(v(z0).scale(-1).shift(1), "<="))       # z0 >= 1
+        out.append(Constraint(v(z0).shift(-config.nprocs_cap), "<="))  # z0 <= cap
+    if rws and sws:
+        out.append(Constraint(v(rws[0]).sub(v(sws[0])), "<"))        # x0 < z0
+    scs = trace.vars_by_kind(KIND_SC)
+    sc_by_comm: dict[int, Var] = {}
+    for s in scs:
+        # extension (the paper leaves local sizes unmarked): 1 <= s_i and
+        # s_i <= z0 — a communicator is never larger than the world
+        out.append(Constraint(v(s).scale(-1).shift(1), "<="))        # s_i >= 1
+        if sws:
+            out.append(Constraint(v(s).sub(v(sws[0])), "<="))        # s_i <= z0
+        if s.comm_index is not None and s.comm_index not in sc_by_comm:
+            sc_by_comm[s.comm_index] = s
+    for y in rcs:
+        out.append(Constraint(v(y).scale(-1), "<="))                 # y >= 0
+        sc = sc_by_comm.get(y.comm_index) if y.comm_index is not None else None
+        if sc is not None:
+            # symbolic local bound: y_i < s_i (replaces the concrete s_i)
+            out.append(Constraint(v(y).sub(v(sc)), "<"))
+        elif y.comm_size is not None:
+            out.append(Constraint(v(y).shift(-y.comm_size), "<"))    # y < s_i
+    return out
+
+
+def capping_constraints(trace: TraceResult) -> list[Constraint]:
+    """``x <= cap`` for every input marked with ``compi_int_with_limit``
+    (plus ``x >= floor`` for the ranged/width-typed markings)."""
+    out: list[Constraint] = []
+    for var in trace.vars:
+        if var.kind != KIND_INPUT:
+            continue
+        if var.cap is not None:
+            out.append(Constraint(LinearExpr.variable(var.vid).shift(-var.cap),
+                                  "<="))
+        if var.floor is not None:
+            out.append(Constraint(
+                LinearExpr.variable(var.vid).scale(-1).shift(var.floor), "<="))
+    return out
+
+
+def solver_domains(trace: TraceResult, config: CompiConfig,
+                   input_bounds: Optional[dict[str, tuple[int, int]]] = None) -> Box:
+    """Finite box domains per variable kind (the solver needs bounds)."""
+    box: Box = {}
+    input_bounds = input_bounds or {}
+    for var in trace.vars:
+        if var.kind == KIND_INPUT:
+            lo, hi = input_bounds.get(var.name, (config.input_min, config.input_max))
+            if var.cap is not None:
+                hi = min(hi, var.cap)
+            if var.floor is not None:
+                lo = max(lo, var.floor)
+            box[var.vid] = (min(lo, hi), max(lo, hi))
+        elif var.kind == KIND_RW:
+            box[var.vid] = (0, config.nprocs_cap - 1)
+        elif var.kind == KIND_SW:
+            box[var.vid] = (1, config.nprocs_cap)
+        elif var.kind == KIND_RC:
+            hi = (var.comm_size - 1) if var.comm_size else config.nprocs_cap - 1
+            box[var.vid] = (0, max(0, hi))
+        elif var.kind == KIND_SC:
+            box[var.vid] = (1, config.nprocs_cap)
+        else:  # pragma: no cover - future kinds
+            box[var.vid] = (config.input_min, config.input_max)
+    return box

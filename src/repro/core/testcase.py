@@ -1,0 +1,89 @@
+"""Test cases and target input specifications.
+
+A target program declares its input surface in a module-level
+``INPUT_SPEC`` mapping (the analog of knowing the program's input-file
+format, e.g. ``HPL.dat``)::
+
+    INPUT_SPEC = {
+        "n":  {"default": 100, "lo": -1000, "hi": 5000},
+        "nb": {"default": 8,   "lo": -100,  "hi": 512},
+    }
+
+COMPI reads the spec to generate the first (random) test and to bound the
+solver's default domains; the *caps* from ``compi_int_with_limit`` are
+discovered at runtime from the trace and tighten these further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from .conflicts import TestSetup
+
+
+@dataclass(frozen=True)
+class InputSpec:
+    """Declared range of one marked input variable."""
+
+    name: str
+    default: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"{self.name}: lo {self.lo} > hi {self.hi}")
+
+
+def specs_from_module(module: Any) -> dict[str, InputSpec]:
+    """Read ``INPUT_SPEC`` from a (possibly instrumented) target module."""
+    raw = getattr(module, "INPUT_SPEC", None)
+    if raw is None:
+        raise AttributeError(
+            f"target module {module.__name__} declares no INPUT_SPEC")
+    out: dict[str, InputSpec] = {}
+    for name, d in raw.items():
+        out[name] = InputSpec(name=name, default=int(d["default"]),
+                              lo=int(d["lo"]), hi=int(d["hi"]))
+    return out
+
+
+@dataclass(frozen=True)
+class TestCase:
+    """One complete test: runtime inputs + launch-time setup."""
+
+    #: not a pytest class, despite the name
+    __test__ = False
+
+    inputs: dict[str, int]
+    setup: TestSetup
+    origin: str = "initial"            # 'initial' | 'negation' | 'restart'
+    negated_site: Optional[int] = None
+
+    def describe(self) -> str:
+        kv = ", ".join(f"{k}={v}" for k, v in sorted(self.inputs.items()))
+        return (f"np={self.setup.nprocs} focus={self.setup.focus} "
+                f"[{self.origin}] {kv}")
+
+
+def default_testcase(specs: dict[str, InputSpec], setup: TestSetup) -> TestCase:
+    """The target's declared default inputs as a test case."""
+    return TestCase(inputs={n: s.default for n, s in specs.items()},
+                    setup=setup, origin="initial")
+
+
+def random_testcase(specs: dict[str, InputSpec], setup: TestSetup,
+                    rng: np.random.Generator,
+                    caps: Optional[dict[str, int]] = None,
+                    origin: str = "initial") -> TestCase:
+    """Random inputs within spec bounds (and under any known caps)."""
+    caps = caps or {}
+    inputs: dict[str, int] = {}
+    for name, spec in specs.items():
+        hi = min(spec.hi, caps.get(name, spec.hi))
+        lo = min(spec.lo, hi)
+        inputs[name] = int(rng.integers(lo, hi + 1))
+    return TestCase(inputs=inputs, setup=setup, origin=origin)

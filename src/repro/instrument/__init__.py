@@ -1,0 +1,14 @@
+"""Instrumentation phase: AST transforms, site registry, program loading."""
+
+from .loader import InstrumentedProgram, instrument_program, make_probes
+from .sites import FuncInfo, SiteInfo, SiteRegistry
+from .static_info import INFINITE, SiteGraph, uncovered_sites
+from .transform import (BRANCH_PROBE, FUNC_PROBE, InstrumentTransformer,
+                        instrument_source)
+
+__all__ = [
+    "BRANCH_PROBE", "FUNC_PROBE", "FuncInfo", "INFINITE",
+    "InstrumentTransformer", "InstrumentedProgram", "SiteGraph", "SiteInfo",
+    "SiteRegistry", "instrument_program", "instrument_source", "make_probes",
+    "uncovered_sites",
+]

@@ -1,0 +1,181 @@
+"""Compile and load instrumented target programs.
+
+A *target program* is a package (or single module) of plain Python written
+against the virtual-MPI context API.  :func:`instrument_program` performs
+the paper's instrumentation phase: every listed module is transformed (see
+:mod:`repro.instrument.transform`), compiled, and executed into a fresh
+module object registered under a private name, with intra-package imports
+rewired so the instrumented unit is closed.
+
+The probes dispatch through the thread-local sink
+(:mod:`repro.concolic.context`).  This is how *two-way instrumentation*
+runs in one process: the focus rank's thread carries a
+:class:`~repro.concolic.trace.HeavySink` (full symbolic execution — the
+``ex1`` build), the other ranks carry :class:`~repro.concolic.trace.LightSink`
+(coverage-only — the ``ex2`` build).  Both observe identical site IDs
+because they share one deterministic instrumentation.
+"""
+
+from __future__ import annotations
+
+import ast
+import importlib
+import inspect
+import itertools
+import sys
+import types
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..concolic.context import current_sink
+from ..concolic.sym import SymBool, SymInt
+from .sites import SiteRegistry
+from .transform import (BRANCH_PROBE, FUNC_PROBE, ITER_PROBE,
+                        instrument_source)
+
+_program_ids = itertools.count()
+
+
+def make_probes(registry: SiteRegistry) -> dict[str, Callable]:
+    """Build the runtime probe functions injected into instrumented code."""
+
+    def __compi_branch__(sid: int, val: Any) -> bool:
+        sink = current_sink()
+        if sink is None:
+            if isinstance(val, (SymBool, SymInt)):
+                return bool(val.concrete)
+            return bool(val)
+        if isinstance(val, SymBool):
+            if val.constraint is not None:
+                return val.observe(sid)
+            sink.on_branch(sid, val.concrete, None)
+            return val.concrete
+        if isinstance(val, SymInt):
+            # C truthiness `if (x)` ≡ `x != 0`
+            sb = val != 0
+            if isinstance(sb, SymBool) and sb.constraint is not None:
+                return sb.observe(sid)
+            sink.on_branch(sid, val.concrete != 0, None)
+            return val.concrete != 0
+        outcome = bool(val)
+        sink.on_branch(sid, outcome, None)
+        return outcome
+
+    def __compi_func__(fid: int) -> None:
+        sink = current_sink()
+        if sink is not None:
+            sink.on_function(fid)
+
+    def __compi_iter__(sid: int, iterable: Any):
+        """Probe generator for ``for`` loops: one True branch per item,
+        one False branch at exhaustion (the CIL for→while lowering)."""
+        sink = current_sink()
+        if sink is None:
+            yield from iterable
+            return
+        for item in iterable:
+            sink.on_branch(sid, True, None)
+            yield item
+        sink.on_branch(sid, False, None)
+
+    return {BRANCH_PROBE: __compi_branch__, FUNC_PROBE: __compi_func__,
+            ITER_PROBE: __compi_iter__}
+
+
+@dataclass
+class InstrumentedProgram:
+    """A loaded, instrumented target: what COMPI launches as ex1/ex2."""
+
+    name: str
+    registry: SiteRegistry
+    modules: dict[str, types.ModuleType]
+    entry_module: str
+    entry_name: str = "main"
+
+    @property
+    def entry(self) -> Callable:
+        """The target's ``main(mpi, args)`` entry point."""
+        return getattr(self.modules[self.entry_module], self.entry_name)
+
+    @property
+    def total_branches(self) -> int:
+        return self.registry.total_branches
+
+    def unload(self) -> None:
+        """Drop the instrumented modules from ``sys.modules``."""
+        for mod in self.modules.values():
+            sys.modules.pop(mod.__name__, None)
+
+
+def _module_source(module_name: str) -> tuple[str, str]:
+    mod = importlib.import_module(module_name)
+    path = inspect.getsourcefile(mod)
+    if path is None:  # pragma: no cover - only for exotic loaders
+        raise ImportError(f"no source for {module_name}")
+    with open(path, "r", encoding="utf-8") as fh:
+        return fh.read(), path
+
+
+def instrument_program(module_names: list[str], entry_module: Optional[str] = None,
+                       entry_name: str = "main",
+                       package_root: Optional[str] = None,
+                       name: Optional[str] = None) -> InstrumentedProgram:
+    """Instrument ``module_names`` (dependency order, entry last by default).
+
+    ``package_root`` is the absolute package against which the modules'
+    relative imports resolve (e.g. ``"repro.targets.hpl"``); it defaults to
+    the parent package of the first module.
+    """
+    if not module_names:
+        raise ValueError("no modules to instrument")
+    entry_module = entry_module or module_names[-1]
+    if entry_module not in module_names:
+        raise ValueError(f"entry module {entry_module} not in module list")
+    if package_root is None:
+        package_root = module_names[0].rsplit(".", 1)[0]
+    prog_id = next(_program_ids)
+    prefix = f"_compi_p{prog_id}"
+    name = name or entry_module.rsplit(".", 1)[-1]
+
+    registry = SiteRegistry()
+    probes = make_probes(registry)
+    import_map = {m: f"{prefix}.{m}" for m in module_names}
+
+    # parent placeholder packages so `import _compi_p0.repro...` resolves
+    created: dict[str, types.ModuleType] = {}
+
+    def ensure_package(dotted: str) -> None:
+        parts = dotted.split(".")
+        for i in range(1, len(parts)):
+            pkg = ".".join(parts[:i])
+            if pkg not in sys.modules:
+                m = types.ModuleType(pkg)
+                m.__path__ = []  # mark as package
+                sys.modules[pkg] = m
+                created[pkg] = m
+
+    modules: dict[str, types.ModuleType] = {}
+    try:
+        for mod_name in module_names:
+            source, path = _module_source(mod_name)
+            tree = instrument_source(source, mod_name, registry,
+                                     import_map=import_map,
+                                     package_root=package_root,
+                                     filename=path)
+            code = compile(tree, filename=path, mode="exec")
+            inst_name = import_map[mod_name]
+            ensure_package(inst_name)
+            module = types.ModuleType(inst_name)
+            module.__file__ = path
+            module.__dict__.update(probes)
+            sys.modules[inst_name] = module
+            created[inst_name] = module
+            exec(code, module.__dict__)
+            modules[mod_name] = module
+    except Exception:
+        for n in created:
+            sys.modules.pop(n, None)
+        raise
+
+    return InstrumentedProgram(name=name, registry=registry, modules=modules,
+                               entry_module=entry_module, entry_name=entry_name)

@@ -1,0 +1,91 @@
+"""Static site registry: branch condition IDs and function IDs.
+
+The instrumentation phase (the CIL analog, §V) assigns every conditional
+statement a *condition id* in a deterministic AST walk; a branch is then
+``[condition_id][T/F]`` exactly as in the paper's notation.  The registry
+also powers Table III:
+
+* *total branches* — 2 × (number of static conditional sites);
+* *reachable branches* — 2 × (sites of every function entered during
+  testing), via :meth:`SiteRegistry.branches_per_function`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SiteInfo:
+    """One static conditional (``if``/``while``/ternary)."""
+
+    sid: int
+    module: str
+    func_fid: int
+    lineno: int
+    kind: str  # 'if' | 'while' | 'ifexp'
+
+
+@dataclass(frozen=True)
+class FuncInfo:
+    """One function (or module toplevel) known to the instrumenter."""
+
+    fid: int
+    module: str
+    qualname: str
+    lineno: int
+
+
+class SiteRegistry:
+    """Mutable registry filled during instrumentation, read-only after."""
+
+    def __init__(self) -> None:
+        self.sites: list[SiteInfo] = []
+        self.functions: list[FuncInfo] = []
+        self._func_sites: dict[int, list[int]] = {}
+
+    # -- creation (instrumentation phase) -------------------------------
+    def new_function(self, module: str, qualname: str, lineno: int) -> int:
+        fid = len(self.functions)
+        self.functions.append(FuncInfo(fid, module, qualname, lineno))
+        self._func_sites[fid] = []
+        return fid
+
+    def new_site(self, module: str, func_fid: int, lineno: int, kind: str) -> int:
+        sid = len(self.sites)
+        self.sites.append(SiteInfo(sid, module, func_fid, lineno, kind))
+        self._func_sites[func_fid].append(sid)
+        return sid
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def total_sites(self) -> int:
+        return len(self.sites)
+
+    @property
+    def total_branches(self) -> int:
+        """Paper's "total number of branches": T and F arm per conditional."""
+        return 2 * len(self.sites)
+
+    def site(self, sid: int) -> SiteInfo:
+        return self.sites[sid]
+
+    def function(self, fid: int) -> FuncInfo:
+        return self.functions[fid]
+
+    def sites_of_function(self, fid: int) -> list[int]:
+        return list(self._func_sites.get(fid, ()))
+
+    def branches_per_function(self) -> dict[int, int]:
+        return {fid: 2 * len(sids) for fid, sids in self._func_sites.items()}
+
+    def function_of_site(self, sid: int) -> int:
+        return self.sites[sid].func_fid
+
+    def describe(self, sid: int) -> str:
+        if sid < 0:
+            return f"implicit#{sid}"
+        s = self.sites[sid]
+        fn = self.functions[s.func_fid].qualname
+        return f"{s.module}:{s.lineno}:{fn}[{s.kind}]"

@@ -1,0 +1,73 @@
+"""Static program information derived from the instrumentation pass.
+
+Provides the site graph used by the CFG-directed search strategy (one of
+CREST's four strategies, Fig. 4's losing baseline) and the per-function
+branch accounting behind Table III's *reachable branches* estimate.
+
+The site graph is a deliberate approximation: within one function,
+conditional sites are chained in AST preorder (which follows control flow
+for the straight-line-with-nesting shape sanity checks have); functions
+are connected through nothing — cross-function distances are infinite.
+The paper only uses CFG search to show it fails to pass sanity checks, so
+fidelity of the *scoring idea* (distance from executed branches to
+uncovered ones) matters more than call-graph completeness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from .sites import SiteRegistry
+
+INFINITE = 10 ** 9
+
+
+class SiteGraph:
+    """Undirected chain graph over static branch sites."""
+
+    def __init__(self, registry: SiteRegistry):
+        self.registry = registry
+        self.adj: dict[int, list[int]] = {s.sid: [] for s in registry.sites}
+        for fid in range(len(registry.functions)):
+            sids = registry.sites_of_function(fid)
+            for a, b in zip(sids, sids[1:]):
+                self.adj[a].append(b)
+                self.adj[b].append(a)
+
+    def distance_to_any(self, start: int, targets: set[int],
+                        limit: int = INFINITE) -> int:
+        """BFS hop count from ``start`` to the nearest site in ``targets``."""
+        if start not in self.adj:
+            return INFINITE
+        if start in targets:
+            return 0
+        seen = {start}
+        frontier = deque([(start, 0)])
+        while frontier:
+            node, d = frontier.popleft()
+            if d >= limit:
+                continue
+            for nxt in self.adj[node]:
+                if nxt in seen:
+                    continue
+                if nxt in targets:
+                    return d + 1
+                seen.add(nxt)
+                frontier.append((nxt, d + 1))
+        return INFINITE
+
+
+def uncovered_sites(registry: SiteRegistry,
+                    covered_branches: Iterable[tuple[int, bool]]) -> set[int]:
+    """Sites with at least one uncovered direction."""
+    seen: dict[int, set[bool]] = {}
+    for sid, direction in covered_branches:
+        if sid >= 0:
+            seen.setdefault(sid, set()).add(direction)
+    out: set[int] = set()
+    for s in registry.sites:
+        dirs = seen.get(s.sid, set())
+        if len(dirs) < 2:
+            out.add(s.sid)
+    return out

@@ -1,0 +1,184 @@
+"""AST source-to-source instrumentation (the CIL pass).
+
+Given a target module's source, the transformer
+
+* wraps every ``if``/``while``/ternary test in a branch probe::
+
+      if cond:              →    if __compi_branch__(17, cond):
+
+* wraps every ``for`` iterable in a probe generator (the CIL for→while
+  lowering: each iteration is the True arm, exhaustion the False arm)::
+
+      for x in xs:          →    for x in __compi_iter__(18, xs):
+
+* inserts a function-entry probe as the first statement of every function
+  (after the docstring), plus one for the module toplevel;
+
+* optionally rewrites intra-package imports so a multi-module target is
+  instrumented as a closed unit (every submodule resolves to its
+  instrumented sibling, never the plain original).
+
+Site/function IDs come from a :class:`~repro.instrument.sites.SiteRegistry`
+in deterministic preorder, so repeated instrumentation of the same source
+yields identical IDs — the property that lets heavy and light executions
+agree on branch identity.
+
+Not wrapped (documented design deltas from CIL): ``assert`` statements,
+comprehension ``if`` clauses, and ``and``/``or`` operands.  All of these
+still record when their condition is *symbolic*, via the implicit-branch
+mechanism in :mod:`repro.concolic.sym`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .sites import SiteRegistry
+
+BRANCH_PROBE = "__compi_branch__"
+FUNC_PROBE = "__compi_func__"
+ITER_PROBE = "__compi_iter__"
+
+
+class InstrumentTransformer(ast.NodeTransformer):
+    """One module's instrumentation pass."""
+
+    def __init__(self, registry: SiteRegistry, module_name: str,
+                 import_map: Optional[dict[str, str]] = None,
+                 package_root: Optional[str] = None):
+        self.registry = registry
+        self.module_name = module_name
+        #: original absolute module name → instrumented module name
+        self.import_map = import_map or {}
+        #: absolute package prefix used to resolve relative imports
+        self.package_root = package_root
+        self._func_stack: list[int] = []
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _probe_call(self, name: str, *args: ast.expr) -> ast.Call:
+        return ast.Call(func=ast.Name(id=name, ctx=ast.Load()),
+                        args=list(args), keywords=[])
+
+    def _wrap_test(self, test: ast.expr, lineno: int, kind: str) -> ast.expr:
+        sid = self.registry.new_site(self.module_name, self._func_stack[-1],
+                                     lineno, kind)
+        return self._probe_call(BRANCH_PROBE, ast.Constant(value=sid), test)
+
+    def _entry_stmt(self, fid: int) -> ast.stmt:
+        return ast.Expr(value=self._probe_call(FUNC_PROBE, ast.Constant(value=fid)))
+
+    @staticmethod
+    def _insert_after_docstring(body: list[ast.stmt], stmt: ast.stmt) -> list[ast.stmt]:
+        if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant) \
+                and isinstance(body[0].value.value, str):
+            return [body[0], stmt] + body[1:]
+        return [stmt] + body
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def visit_Module(self, node: ast.Module) -> ast.Module:
+        fid = self.registry.new_function(self.module_name, "<module>", 1)
+        self._func_stack.append(fid)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        node.body = self._insert_after_docstring(node.body, self._entry_stmt(fid))
+        return node
+
+    def _visit_function(self, node):
+        qual = node.name
+        fid = self.registry.new_function(self.module_name, qual, node.lineno)
+        self._func_stack.append(fid)
+        self.generic_visit(node)
+        self._func_stack.pop()
+        node.body = self._insert_after_docstring(node.body, self._entry_stmt(fid))
+        return node
+
+    def visit_FunctionDef(self, node: ast.FunctionDef):
+        return self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef):
+        return self._visit_function(node)
+
+    # ------------------------------------------------------------------
+    # branch sites
+    # ------------------------------------------------------------------
+    def visit_If(self, node: ast.If) -> ast.If:
+        self.generic_visit(node)
+        node.test = self._wrap_test(node.test, node.lineno, "if")
+        return node
+
+    def visit_While(self, node: ast.While) -> ast.While:
+        self.generic_visit(node)
+        node.test = self._wrap_test(node.test, node.lineno, "while")
+        return node
+
+    def visit_For(self, node: ast.For) -> ast.For:
+        """CIL lowers ``for`` to ``while``: each loop iteration is a True
+        branch evaluation and exhaustion is the False arm.  We wrap the
+        iterable in a probe generator that records exactly that."""
+        self.generic_visit(node)
+        sid = self.registry.new_site(self.module_name, self._func_stack[-1],
+                                     node.lineno, "for")
+        node.iter = self._probe_call(ITER_PROBE, ast.Constant(value=sid),
+                                     node.iter)
+        return node
+
+    def visit_IfExp(self, node: ast.IfExp) -> ast.IfExp:
+        self.generic_visit(node)
+        node.test = self._wrap_test(node.test, node.lineno, "ifexp")
+        return node
+
+    # ------------------------------------------------------------------
+    # intra-package import rewriting
+    # ------------------------------------------------------------------
+    def _map_absolute(self, name: str) -> Optional[str]:
+        return self.import_map.get(name)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> ast.ImportFrom:
+        self.generic_visit(node)
+        if node.level > 0 and self.package_root is not None:
+            # resolve `from .sanity import f` against the package root
+            base = self.package_root.split(".")
+            # level 1 = current package; deeper levels pop components
+            base = base[: len(base) - (node.level - 1)]
+            absolute = ".".join(base + ([node.module] if node.module else []))
+            mapped = self._map_absolute(absolute)
+            if mapped is not None:
+                return ast.ImportFrom(module=mapped, names=node.names, level=0)
+            # relative import of a module OUTSIDE the instrumented unit:
+            # rewrite to the absolute original (the instrumented copy lives
+            # under a private package where the relative path dangles)
+            return ast.ImportFrom(module=absolute, names=node.names, level=0)
+        if node.module is not None:
+            mapped = self._map_absolute(node.module)
+            if mapped is not None:
+                return ast.ImportFrom(module=mapped, names=node.names, level=0)
+        return node
+
+    def visit_Import(self, node: ast.Import) -> ast.Import:
+        self.generic_visit(node)
+        names = []
+        for alias in node.names:
+            mapped = self._map_absolute(alias.name)
+            if mapped is not None:
+                names.append(ast.alias(name=mapped,
+                                       asname=alias.asname or alias.name.split(".")[-1]))
+            else:
+                names.append(alias)
+        return ast.Import(names=names)
+
+
+def instrument_source(source: str, module_name: str, registry: SiteRegistry,
+                      import_map: Optional[dict[str, str]] = None,
+                      package_root: Optional[str] = None,
+                      filename: str = "<instrumented>") -> "ast.Module":
+    """Parse, instrument and fix up one module's source; returns the AST."""
+    tree = ast.parse(source, filename=filename)
+    tx = InstrumentTransformer(registry, module_name, import_map, package_root)
+    tree = tx.visit(tree)
+    ast.fix_missing_locations(tree)
+    return tree

@@ -1,0 +1,110 @@
+"""Per-rank mailboxes with MPI matching semantics.
+
+Every rank owns one :class:`Mailbox`.  Senders deposit messages directly
+into the destination's mailbox (eager/buffered protocol: a send never
+blocks).  Receivers block until a message matching ``(source, tag)`` is
+available, honouring ``ANY_SOURCE`` / ``ANY_TAG`` wildcards and FIFO
+ordering per (source, tag) pair — the MPI non-overtaking rule.
+
+All blocking waits poll the job-wide *stop event* so that a watchdog
+timeout or a crash on a sibling rank unwinds blocked ranks promptly via
+:class:`~repro.mpi.errors.MpiShutdown`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Optional
+
+from .errors import MpiShutdown
+from .status import ANY_SOURCE, ANY_TAG, Message, Status
+
+# How long a blocked receiver sleeps between stop-event checks.  Small
+# enough that teardown is prompt; the condition variable wakes receivers
+# immediately on a matching send, so this only bounds *teardown* latency.
+_POLL_INTERVAL = 0.05
+
+_send_seq = itertools.count()
+
+
+class Mailbox:
+    """Unbounded mailbox for one receiving rank."""
+
+    def __init__(self, owner_rank: int, stop_event: threading.Event):
+        self.owner_rank = owner_rank
+        self._stop = stop_event
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._messages: list[Message] = []
+
+    def deposit(self, source: int, tag: int, payload: Any) -> None:
+        """Called from the *sender's* thread: enqueue and wake receivers."""
+        msg = Message(source=source, tag=tag, payload=payload, seq=next(_send_seq))
+        with self._cond:
+            self._messages.append(msg)
+            self._cond.notify_all()
+
+    def _match_index(self, source: int, tag: int,
+                     tag_range: Optional[tuple[int, int]] = None) -> Optional[int]:
+        """Index of the earliest (by send order) matching message.
+
+        ``tag_range=(lo, hi)`` implements a communicator-scoped ANY_TAG:
+        match any tag with ``lo <= tag < hi``.
+        """
+        best: Optional[int] = None
+        best_seq = None
+        for i, m in enumerate(self._messages):
+            if source != ANY_SOURCE and m.source != source:
+                continue
+            if tag != ANY_TAG:
+                if m.tag != tag:
+                    continue
+            elif tag_range is not None and not (tag_range[0] <= m.tag < tag_range[1]):
+                continue
+            if best_seq is None or m.seq < best_seq:
+                best, best_seq = i, m.seq
+        return best
+
+    def receive(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+                timeout: Optional[float] = None,
+                tag_range: Optional[tuple[int, int]] = None) -> tuple[Any, Status]:
+        """Block until a matching message arrives; return (payload, status).
+
+        ``timeout=None`` blocks until match or job shutdown.  A finite
+        timeout raises :class:`TimeoutError` if nothing matched in time —
+        used by ``Request.test()`` probes, never by plain ``Recv``.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while True:
+                idx = self._match_index(source, tag, tag_range)
+                if idx is not None:
+                    msg = self._messages.pop(idx)
+                    return msg.payload, Status(source=msg.source, tag=msg.tag)
+                if self._stop.is_set():
+                    raise MpiShutdown(
+                        f"rank {self.owner_rank} interrupted while receiving "
+                        f"(source={source}, tag={tag})")
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("no matching message")
+                    self._cond.wait(min(_POLL_INTERVAL, remaining))
+                else:
+                    self._cond.wait(_POLL_INTERVAL)
+
+    def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
+              tag_range: Optional[tuple[int, int]] = None) -> Optional[Status]:
+        """Non-destructive match test (``MPI_Iprobe`` analog)."""
+        with self._lock:
+            idx = self._match_index(source, tag, tag_range)
+            if idx is None:
+                return None
+            m = self._messages[idx]
+            return Status(source=m.source, tag=m.tag)
+
+    def pending_count(self) -> int:
+        with self._lock:
+            return len(self._messages)

@@ -1,0 +1,94 @@
+"""Rendezvous engine for collective operations.
+
+Each communicator numbers its collective calls with a per-rank local
+sequence counter; because SPMD programs must call collectives in the same
+order on every member rank, call *k* on one rank pairs with call *k* on
+all the others.  A :class:`Rendezvous` collects one contribution per
+member, and the last arriver runs the combining function once; everyone
+then reads the published result.
+
+This centralizes barrier/bcast/reduce/gather/scatter/alltoall logic: each
+collective is just a combine function over the gathered contributions.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from .errors import MpiInternalError, MpiShutdown
+
+_POLL_INTERVAL = 0.05
+
+
+class Rendezvous:
+    """One collective-operation instance awaiting ``size`` contributions."""
+
+    def __init__(self, size: int, op_name: str):
+        self.size = size
+        self.op_name = op_name
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._contribs: dict[int, Any] = {}
+        self._result: Any = None
+        self._ready = False
+
+    def arrive(self, local_rank: int, contribution: Any,
+               combine: Callable[[dict[int, Any]], Any],
+               stop_event: threading.Event,
+               op_name: str) -> Any:
+        """Deposit this rank's contribution and wait for the result.
+
+        ``combine`` maps {local_rank: contribution} to the shared result.
+        The result is shared: per-rank slicing (scatter, gather-to-root)
+        happens in the caller.
+        """
+        with self._cond:
+            if op_name != self.op_name:
+                raise MpiInternalError(
+                    f"collective mismatch: rank {local_rank} called {op_name} "
+                    f"but the in-flight operation is {self.op_name}")
+            if local_rank in self._contribs:
+                raise MpiInternalError(
+                    f"rank {local_rank} arrived twice at {self.op_name}")
+            self._contribs[local_rank] = contribution
+            if len(self._contribs) == self.size:
+                self._result = combine(self._contribs)
+                self._ready = True
+                self._cond.notify_all()
+            else:
+                while not self._ready:
+                    if stop_event.is_set():
+                        raise MpiShutdown(
+                            f"rank {local_rank} interrupted in {self.op_name}")
+                    self._cond.wait(_POLL_INTERVAL)
+            return self._result
+
+
+class CollectiveEngine:
+    """Creates/locates rendezvous instances keyed by (comm id, call seq)."""
+
+    def __init__(self, stop_event: threading.Event):
+        self._stop = stop_event
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple[int, int], Rendezvous] = {}
+
+    def run(self, comm_id: int, seq: int, size: int, local_rank: int,
+            contribution: Any, combine: Callable[[dict[int, Any]], Any],
+            op_name: str) -> Any:
+        key = (comm_id, seq)
+        with self._lock:
+            rv = self._inflight.get(key)
+            if rv is None:
+                rv = Rendezvous(size, op_name)
+                self._inflight[key] = rv
+        result = rv.arrive(local_rank, contribution, combine, self._stop, op_name)
+        # Last reader garbage-collects the instance.  It is safe to leave
+        # stale entries briefly; they are keyed by monotonically increasing
+        # sequence numbers and never reused.
+        with self._lock:
+            done = self._inflight.get(key)
+            if done is rv and rv._ready and len(rv._contribs) == size:
+                self._inflight.pop(key, None)
+        return result

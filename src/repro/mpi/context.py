@@ -1,0 +1,122 @@
+"""Per-rank process context: the "MPI library" a target program sees.
+
+Target programs are written against this API the way the paper's C
+targets are written against MPI::
+
+    def main(mpi, args):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        size = mpi.Comm_size(mpi.COMM_WORLD)
+        ...
+        mpi.Finalize()
+
+``Comm_rank`` / ``Comm_size`` are instrumented exactly like COMPI
+instruments ``MPI_Comm_rank`` / ``MPI_Comm_size``: when a *sink* (the
+concolic recorder attached to this rank) is present, the returned value is
+passed through it, which lets the heavy sink mark the value symbolic
+(``rw``/``rc``/``sw`` in the paper's Table I) and record local→global rank
+mappings.  Without a sink the plain integer comes back.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional, TYPE_CHECKING
+
+from . import datatypes
+from .comm import Communicator
+from .errors import MpiInternalError
+from .status import ANY_SOURCE, ANY_TAG
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Job
+
+
+class MpiContext:
+    """Everything one simulated rank can do."""
+
+    #: re-exported reduction ops so targets can say ``mpi.SUM``
+    SUM = datatypes.SUM
+    PROD = datatypes.PROD
+    MIN = datatypes.MIN
+    MAX = datatypes.MAX
+    LAND = datatypes.LAND
+    LOR = datatypes.LOR
+    BAND = datatypes.BAND
+    BOR = datatypes.BOR
+    BXOR = datatypes.BXOR
+    MAXLOC = datatypes.MAXLOC
+    MINLOC = datatypes.MINLOC
+    ANY_SOURCE = ANY_SOURCE
+    ANY_TAG = ANY_TAG
+
+    def __init__(self, job: "Job", global_rank: int, sink: Optional[Any] = None):
+        self.job = job
+        self.global_rank = global_rank
+        self.sink = sink
+        self.COMM_WORLD = Communicator(
+            job, comm_id=0, group=tuple(range(job.size)),
+            my_global_rank=global_rank, name="MPI_COMM_WORLD")
+        self._initialized = False
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def Init(self) -> None:
+        if self._initialized:
+            raise MpiInternalError("MPI_Init called twice")
+        self._initialized = True
+        if self.sink is not None and hasattr(self.sink, "on_init"):
+            self.sink.on_init(self)
+
+    def Finalize(self) -> None:
+        if not self._initialized:
+            raise MpiInternalError("MPI_Finalize before MPI_Init")
+        if self._finalized:
+            raise MpiInternalError("MPI_Finalize called twice")
+        self._finalized = True
+
+    @property
+    def initialized(self) -> bool:
+        return self._initialized
+
+    # ------------------------------------------------------------------
+    # instrumented query points (COMPI's automatic marking sites)
+    # ------------------------------------------------------------------
+    def Comm_rank(self, comm: Communicator) -> Any:
+        """Return the calling rank in ``comm``.
+
+        With a heavy sink attached, the result is a symbolic value marked
+        ``rw`` (if ``comm`` is the world — a compile-time constant in MPI,
+        which is how COMPI distinguishes the two cases) or ``rc``.
+        """
+        value = comm.Get_rank()
+        if self.sink is not None and hasattr(self.sink, "on_comm_rank"):
+            return self.sink.on_comm_rank(comm, value)
+        return value
+
+    def Comm_size(self, comm: Communicator) -> Any:
+        """Return ``comm``'s size; world size is marked ``sw`` by the sink.
+
+        Sizes of non-world communicators are *not* marked (the paper does
+        not mark them either) but are reported to the sink so it can emit
+        the concrete ``y_i < s_i`` bound for local ranks.
+        """
+        value = comm.Get_size()
+        if self.sink is not None and hasattr(self.sink, "on_comm_size"):
+            return self.sink.on_comm_size(comm, value)
+        return value
+
+    # ------------------------------------------------------------------
+    # misc
+    # ------------------------------------------------------------------
+    def Wtime(self) -> float:
+        return time.monotonic() - self.job.start_time
+
+    def Abort(self, errorcode: int = 1) -> None:
+        self.job.abort(errorcode, origin=self.global_rank)
+
+    def Comm_split(self, comm: Communicator, color: int, key: int = 0) -> Optional[Communicator]:
+        """``MPI_Comm_split`` through the context (so targets read naturally)."""
+        return comm.Split(int(color), int(key))

@@ -1,0 +1,103 @@
+"""Reduction operators and payload copying for the virtual MPI runtime.
+
+Payloads travel between ranks as Python objects.  To preserve MPI value
+semantics (a message is a *copy* of the send buffer, never a view into
+it), every payload is deep-copied at the send boundary — numpy arrays via
+``np.array(..., copy=True)``, everything else via ``copy.deepcopy``.
+
+Reduction operators mirror the MPI predefined ops.  They work elementwise
+over numpy arrays, over (nested) lists/tuples of numbers, and over plain
+scalars, which covers everything the target programs exchange.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+
+def copy_payload(obj: Any) -> Any:
+    """Return a defensive copy of a message payload."""
+    if isinstance(obj, np.ndarray):
+        return np.array(obj, copy=True)
+    if isinstance(obj, (int, float, complex, str, bytes, bool, type(None))):
+        return obj
+    return copy.deepcopy(obj)
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A named, associative, commutative binary reduction operator."""
+
+    name: str
+    fn: Callable[[Any, Any], Any]
+
+    def __call__(self, a: Any, b: Any) -> Any:
+        return _apply(self.fn, a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ReduceOp({self.name})"
+
+
+def _apply(fn: Callable[[Any, Any], Any], a: Any, b: Any) -> Any:
+    """Apply ``fn`` elementwise over matching payload structures."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return fn(np.asarray(a), np.asarray(b))
+    if isinstance(a, (list, tuple)):
+        if not isinstance(b, (list, tuple)) or len(a) != len(b):
+            raise TypeError("mismatched reduction payload structure")
+        out = [_apply(fn, x, y) for x, y in zip(a, b)]
+        return type(a)(out) if isinstance(a, tuple) else out
+    return fn(a, b)
+
+
+def _land(a, b):
+    return (np.logical_and(a, b) if isinstance(a, np.ndarray) else bool(a) and bool(b))
+
+
+def _lor(a, b):
+    return (np.logical_or(a, b) if isinstance(a, np.ndarray) else bool(a) or bool(b))
+
+
+def _maxloc(a, b):
+    """MPI_MAXLOC over (value, index) pairs: max value, tie → lower index."""
+    (av, ai), (bv, bi) = a, b
+    if av > bv or (av == bv and ai <= bi):
+        return (av, ai)
+    return (bv, bi)
+
+
+def _minloc(a, b):
+    (av, ai), (bv, bi) = a, b
+    if av < bv or (av == bv and ai <= bi):
+        return (av, ai)
+    return (bv, bi)
+
+
+SUM = ReduceOp("SUM", lambda a, b: a + b)
+PROD = ReduceOp("PROD", lambda a, b: a * b)
+MIN = ReduceOp("MIN", lambda a, b: np.minimum(a, b) if isinstance(a, np.ndarray) else min(a, b))
+MAX = ReduceOp("MAX", lambda a, b: np.maximum(a, b) if isinstance(a, np.ndarray) else max(a, b))
+LAND = ReduceOp("LAND", _land)
+LOR = ReduceOp("LOR", _lor)
+BAND = ReduceOp("BAND", lambda a, b: a & b)
+BOR = ReduceOp("BOR", lambda a, b: a | b)
+BXOR = ReduceOp("BXOR", lambda a, b: a ^ b)
+
+# MAXLOC/MINLOC operate on (value, index) pairs, not elementwise payloads,
+# so they bypass the structural _apply via their own ReduceOp instances.
+MAXLOC = ReduceOp("MAXLOC", _maxloc)
+MINLOC = ReduceOp("MINLOC", _minloc)
+# _apply would recurse into the (value, index) tuple; override behaviour by
+# marking the pairwise ops.  The collectives engine special-cases these.
+PAIRWISE_OPS = {MAXLOC.name, MINLOC.name}
+
+
+def reduce_pair(op: ReduceOp, a: Any, b: Any) -> Any:
+    """Combine two contributions under ``op`` honouring pairwise ops."""
+    if op.name in PAIRWISE_OPS:
+        return op.fn(a, b)
+    return op(a, b)

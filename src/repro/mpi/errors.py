@@ -1,0 +1,55 @@
+"""Exception hierarchy for the virtual MPI runtime.
+
+The runtime models the failure modes COMPI classifies during testing:
+
+* :class:`MpiAbort` — a rank called ``Abort`` (analog of ``MPI_Abort``).
+* :class:`MpiShutdown` — internal control-flow exception raised inside a
+  blocking operation when the runtime's stop event is set (watchdog
+  timeout or a sibling rank crashing).  Target code never catches it.
+* :class:`MpiTimeout` — reported by the runtime when a test exceeded its
+  wall-clock budget; the paper classifies this as an *infinite loop* bug.
+* :class:`MpiInternalError` — misuse of the runtime API itself
+  (mismatched collectives, bad ranks, messages to nowhere).
+"""
+
+from __future__ import annotations
+
+
+class MpiError(Exception):
+    """Base class for all virtual-MPI errors."""
+
+
+class MpiAbort(MpiError):
+    """Raised on every rank when some rank calls ``Abort(code)``."""
+
+    def __init__(self, errorcode: int = 1, origin: int | None = None):
+        self.errorcode = int(errorcode)
+        self.origin = origin
+        super().__init__(f"MPI_Abort(code={errorcode}, origin_rank={origin})")
+
+
+class MpiShutdown(MpiError):
+    """Internal unwind signal: the runtime is tearing the job down.
+
+    Raised from inside blocking calls (recv, collectives, barrier) when the
+    job's stop event is set.  It deliberately subclasses ``MpiError`` and
+    not ``BaseException``: target programs are expected not to swallow
+    ``MpiError`` (well-behaved MPI codes do not catch library errors).
+    """
+
+
+class MpiTimeout(MpiError):
+    """The whole job exceeded its time budget (hang / infinite loop)."""
+
+
+class MpiInternalError(MpiError):
+    """Invalid use of the runtime (bad rank, type mismatch, ...)."""
+
+
+class MpiInvalidRank(MpiInternalError):
+    """Destination or source rank outside the communicator."""
+
+    def __init__(self, rank: int, size: int):
+        self.rank = rank
+        self.size = size
+        super().__init__(f"invalid rank {rank} for communicator of size {size}")

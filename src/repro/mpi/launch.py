@@ -1,0 +1,69 @@
+"""MPMD launch specification — the ``mpiexec`` command-line analog.
+
+COMPI launches the instrumented SPMD program in MPMD style (§III-D)::
+
+    mpiexec -n 1 ./ex1 : -n s-1 ./ex2            # focus at global rank 0
+    mpiexec -n i ./ex2 : -n 1 ./ex1 : -n s-i ./ex2   # focus at rank i
+
+Global ranks are assigned in launch order, so placing the heavy program's
+single-process block at position *i* puts the focus at global rank *i*.
+:func:`mpiexec` mirrors that: a list of :class:`ProcSet` blocks, flattened
+in order into per-rank entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from .context import MpiContext
+from .runtime import JobResult, run_job
+
+Entry = Callable[[MpiContext], Optional[int]]
+
+
+@dataclass
+class ProcSet:
+    """``-n count program`` block of an MPMD launch line."""
+
+    count: int
+    entry: Entry
+    #: factory producing the per-rank sink, called with the global rank;
+    #: ``None`` → no sink (plain uninstrumented execution)
+    sink_factory: Optional[Callable[[int], Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"ProcSet count must be >= 0, got {self.count}")
+
+
+def mpiexec(procsets: list[ProcSet], timeout: Optional[float] = None,
+            grace: float = 2.0) -> JobResult:
+    """Launch the MPMD job described by ``procsets`` and wait for it."""
+    entries: list[Entry] = []
+    sinks: list[Any] = []
+    for ps in procsets:
+        for _ in range(ps.count):
+            global_rank = len(entries)
+            entries.append(ps.entry)
+            sinks.append(ps.sink_factory(global_rank) if ps.sink_factory else None)
+    if not entries:
+        raise ValueError("empty launch specification")
+    return run_job(entries, sinks=sinks, timeout=timeout, grace=grace)
+
+
+def focus_launch(size: int, focus: int, heavy: ProcSet, light: ProcSet,
+                 timeout: Optional[float] = None) -> JobResult:
+    """Build the paper's focus-placement launch line and run it.
+
+    ``heavy``/``light`` carry entry+sink factories; their ``count`` fields
+    are ignored and recomputed from ``size`` and ``focus``.
+    """
+    if not (0 <= focus < size):
+        raise ValueError(f"focus {focus} outside job of size {size}")
+    blocks = [
+        ProcSet(focus, light.entry, light.sink_factory),
+        ProcSet(1, heavy.entry, heavy.sink_factory),
+        ProcSet(size - focus - 1, light.entry, light.sink_factory),
+    ]
+    return mpiexec([b for b in blocks if b.count > 0], timeout=timeout)

@@ -1,0 +1,170 @@
+"""Threaded SPMD/MPMD job runtime — the ``mpiexec`` of the simulator.
+
+One Python thread per rank.  The job owns the mailboxes, the collective
+engine, a stop event and a watchdog deadline.  Error handling follows
+``MPI_ERRORS_ARE_FATAL``: the first uncaught exception on any rank stops
+the whole job, unwinding ranks blocked in communication via
+:class:`~repro.mpi.errors.MpiShutdown`.
+
+The per-test timeout implements the paper's hang/infinite-loop detection:
+COMPI "logs the derived error-inducing input ... if either the program
+returns a non-zero value or fails to complete within the specified
+timeout".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from .channel import Mailbox
+from .collectives import CollectiveEngine
+from .context import MpiContext
+from .errors import MpiAbort, MpiShutdown
+
+
+class Job:
+    """Shared state of one running MPI job."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"job size must be >= 1, got {size}")
+        self.size = size
+        self.stop_event = threading.Event()
+        self.mailboxes = [Mailbox(r, self.stop_event) for r in range(size)]
+        self.collectives = CollectiveEngine(self.stop_event)
+        self.start_time = time.monotonic()
+        self._abort_lock = threading.Lock()
+        self.abort_code: Optional[int] = None
+        self.abort_origin: Optional[int] = None
+
+    def abort(self, errorcode: int = 1, origin: Optional[int] = None) -> None:
+        """``MPI_Abort``: stop every rank.  The caller also raises locally."""
+        with self._abort_lock:
+            if self.abort_code is None:
+                self.abort_code = int(errorcode)
+                self.abort_origin = origin
+        self.stop_event.set()
+        raise MpiAbort(errorcode, origin)
+
+    def request_stop(self) -> None:
+        """Stop without recording an abort (used for fatal rank errors)."""
+        self.stop_event.set()
+
+
+@dataclass
+class RankOutcome:
+    """What happened on one rank."""
+
+    global_rank: int
+    exit_code: Optional[int] = None          # return value of the entry point
+    error: Optional[BaseException] = None    # uncaught exception, if any
+    error_traceback: str = ""
+    elapsed: float = 0.0
+    finished: bool = False                   # thread returned (ok or error)
+
+    @property
+    def ok(self) -> bool:
+        return self.finished and self.error is None
+
+    @property
+    def interrupted(self) -> bool:
+        """True when the rank was unwound by the runtime, not its own bug."""
+        return isinstance(self.error, MpiShutdown)
+
+
+@dataclass
+class JobResult:
+    """Aggregate result of one job execution."""
+
+    size: int
+    outcomes: list[RankOutcome]
+    wall_time: float
+    timed_out: bool
+    abort_code: Optional[int] = None
+    abort_origin: Optional[int] = None
+    stragglers: int = 0  # threads abandoned after timeout (pure-compute hangs)
+
+    @property
+    def ok(self) -> bool:
+        return (not self.timed_out and self.abort_code is None
+                and all(o.ok for o in self.outcomes))
+
+    def first_error(self) -> Optional[RankOutcome]:
+        """The lowest-rank outcome carrying a *real* error (not an unwind)."""
+        for o in self.outcomes:
+            if o.error is not None and not o.interrupted:
+                return o
+        return None
+
+
+def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
+            sinks: Optional[list[Any]] = None,
+            timeout: Optional[float] = None,
+            grace: float = 2.0) -> JobResult:
+    """Run one MPMD job: ``entries[r]`` is rank *r*'s entry point.
+
+    ``sinks[r]``, when given, is attached to rank *r*'s context (the
+    concolic recorder).  ``timeout`` bounds the whole job; on expiry the
+    stop event is set and blocked ranks unwind.  Ranks stuck in
+    *uninstrumented* pure-compute loops cannot be interrupted from outside
+    (instrumented code paths poll the stop event from their branch
+    probes); those threads are abandoned as daemon stragglers and counted.
+    """
+    size = len(entries)
+    job = Job(size)
+    outcomes = [RankOutcome(global_rank=r) for r in range(size)]
+
+    def runner(rank: int) -> None:
+        sink = sinks[rank] if sinks is not None else None
+        ctx = MpiContext(job, rank, sink=sink)
+        if sink is not None and hasattr(sink, "bind_stop_event"):
+            sink.bind_stop_event(job.stop_event)
+        t0 = time.monotonic()
+        out = outcomes[rank]
+        try:
+            out.exit_code = entries[rank](ctx)
+        except BaseException as exc:  # noqa: BLE001 - we *are* the harness
+            out.error = exc
+            out.error_traceback = traceback.format_exc()
+            # MPI_ERRORS_ARE_FATAL: a real error tears the job down so the
+            # other ranks don't deadlock waiting for this one.
+            if not isinstance(exc, MpiShutdown):
+                job.request_stop()
+        finally:
+            out.elapsed = time.monotonic() - t0
+            out.finished = True
+
+    threads = [threading.Thread(target=runner, args=(r,), daemon=True,
+                                name=f"mpi-rank-{r}")
+               for r in range(size)]
+    t_start = time.monotonic()
+    for t in threads:
+        t.start()
+
+    deadline = None if timeout is None else t_start + timeout
+    timed_out = False
+    for t in threads:
+        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
+        t.join(remaining)
+        if t.is_alive():
+            timed_out = True
+            break
+    if timed_out:
+        job.request_stop()
+        for t in threads:
+            t.join(grace)
+    stragglers = sum(1 for t in threads if t.is_alive())
+
+    return JobResult(
+        size=size,
+        outcomes=outcomes,
+        wall_time=time.monotonic() - t_start,
+        timed_out=timed_out,
+        abort_code=job.abort_code,
+        abort_origin=job.abort_origin,
+        stragglers=stragglers,
+    )

@@ -1,0 +1,178 @@
+"""Cartesian process topologies (``MPI_Cart_create`` family).
+
+Lattice codes and grid solvers lay ranks out on N-dimensional tori; MPI
+provides first-class support (``MPI_Cart_create``, ``MPI_Cart_shift``,
+``MPI_Cart_sub``).  The virtual runtime mirrors that surface so targets
+can be written exactly like their C originals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .comm import Communicator
+from .errors import MpiInternalError
+
+
+def dims_create(nnodes: int, ndims: int,
+                dims: Optional[Sequence[int]] = None) -> list[int]:
+    """``MPI_Dims_create``: balanced factorization of ``nnodes``.
+
+    Zero entries in ``dims`` are free; nonzero entries are constraints.
+    """
+    out = list(dims) if dims is not None else [0] * ndims
+    if len(out) != ndims:
+        raise MpiInternalError(f"dims length {len(out)} != ndims {ndims}")
+    fixed = 1
+    for d in out:
+        if d < 0:
+            raise MpiInternalError(f"negative dimension {d}")
+        if d > 0:
+            fixed *= d
+    if fixed == 0:
+        raise MpiInternalError("zero-size fixed dimension")
+    if nnodes % fixed != 0:
+        raise MpiInternalError(
+            f"nnodes {nnodes} not divisible by fixed dims {fixed}")
+    rest = nnodes // fixed
+    free = [i for i, d in enumerate(out) if d == 0]
+    # distribute prime factors largest-first onto the currently smallest
+    # free dimension (classic balanced heuristic)
+    sizes = {i: 1 for i in free}
+    for f in _prime_factors_desc(rest):
+        if not free:
+            if f != 1:
+                raise MpiInternalError("no free dimension for factors")
+            break
+        tgt = min(free, key=lambda i: sizes[i])
+        sizes[tgt] *= f
+    for i in free:
+        out[i] = sizes[i]
+    return out
+
+
+def _prime_factors_desc(n: int) -> list[int]:
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+class CartComm:
+    """A cartesian view over a communicator.
+
+    Built collectively via :func:`cart_create`; ranks not included in the
+    grid receive ``None`` (as with ``MPI_COMM_NULL``).
+    """
+
+    def __init__(self, comm: Communicator, dims: Sequence[int],
+                 periods: Sequence[bool]):
+        self.comm = comm
+        self.dims = tuple(int(d) for d in dims)
+        self.periods = tuple(bool(p) for p in periods)
+        self._strides = _row_major_strides(self.dims)
+
+    # -- delegation -----------------------------------------------------
+    def Get_rank(self) -> int:
+        return self.comm.Get_rank()
+
+    def Get_size(self) -> int:
+        return self.comm.Get_size()
+
+    # -- coordinates -----------------------------------------------------
+    def coords(self, rank: Optional[int] = None) -> tuple[int, ...]:
+        """``MPI_Cart_coords`` (row-major, like MPICH/OpenMPI)."""
+        r = self.comm.Get_rank() if rank is None else int(rank)
+        if not (0 <= r < self.Get_size()):
+            raise MpiInternalError(f"rank {r} outside cart of {self.Get_size()}")
+        out = []
+        for stride, dim in zip(self._strides, self.dims):
+            out.append((r // stride) % dim)
+        return tuple(out)
+
+    def rank_of(self, coords: Sequence[int]) -> int:
+        """``MPI_Cart_rank`` with periodic wrapping where allowed."""
+        if len(coords) != len(self.dims):
+            raise MpiInternalError("coords/dims length mismatch")
+        r = 0
+        for c, stride, dim, periodic in zip(coords, self._strides, self.dims,
+                                            self.periods):
+            c = int(c)
+            if periodic:
+                c %= dim
+            elif not (0 <= c < dim):
+                raise MpiInternalError(
+                    f"coordinate {c} outside non-periodic extent {dim}")
+            r += (c % dim) * stride
+        return r
+
+    def shift(self, direction: int, disp: int = 1) -> tuple[Optional[int], Optional[int]]:
+        """``MPI_Cart_shift``: (source, dest) ranks for a displacement.
+
+        Non-periodic out-of-range neighbours come back as ``None``
+        (``MPI_PROC_NULL``).
+        """
+        me = list(self.coords())
+        dim = self.dims[direction]
+        periodic = self.periods[direction]
+
+        def neighbour(offset: int) -> Optional[int]:
+            c = me[direction] + offset
+            if not periodic and not (0 <= c < dim):
+                return None
+            coords = list(me)
+            coords[direction] = c % dim
+            return self.rank_of(coords)
+
+        return neighbour(-disp), neighbour(+disp)
+
+    def sub(self, remain_dims: Sequence[bool]) -> "CartComm":
+        """``MPI_Cart_sub``: split into sub-grids keeping some dimensions."""
+        if len(remain_dims) != len(self.dims):
+            raise MpiInternalError("remain_dims length mismatch")
+        me = self.coords()
+        color = 0
+        for c, keep, dim in zip(me, remain_dims, self.dims):
+            if not keep:
+                color = color * dim + c
+        key = self.rank_of(me)
+        sub = self.comm.Split(color=color, key=key)
+        kept_dims = [d for d, keep in zip(self.dims, remain_dims) if keep]
+        kept_periods = [p for p, keep in zip(self.periods, remain_dims) if keep]
+        return CartComm(sub, kept_dims or [1], kept_periods or [False])
+
+
+def _row_major_strides(dims: Sequence[int]) -> tuple[int, ...]:
+    strides = [1] * len(dims)
+    for i in range(len(dims) - 2, -1, -1):
+        strides[i] = strides[i + 1] * dims[i + 1]
+    return tuple(strides)
+
+
+def cart_create(comm: Communicator, dims: Sequence[int],
+                periods: Optional[Sequence[bool]] = None,
+                reorder: bool = False) -> Optional[CartComm]:
+    """``MPI_Cart_create`` — collective on ``comm``.
+
+    Ranks beyond ``prod(dims)`` get ``None``.  ``reorder`` is accepted
+    for signature fidelity (rank order never changes in the simulator).
+    """
+    size = 1
+    for d in dims:
+        size *= int(d)
+    if size > comm.Get_size():
+        raise MpiInternalError(
+            f"cart of {size} ranks on comm of {comm.Get_size()}")
+    periods = list(periods) if periods is not None else [False] * len(dims)
+    me = comm.Get_rank()
+    in_grid = me < size
+    sub = comm.Split(color=0 if in_grid else -1, key=me)
+    if not in_grid:
+        return None
+    return CartComm(sub, dims, periods)

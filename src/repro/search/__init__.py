@@ -1,0 +1,12 @@
+"""Search strategies: DFS/BoundedDFS (COMPI default), random, CFG."""
+
+from .base import ExecutionTree, SearchStrategy, StrategyContext, TreeNode
+from .cfg import CfgDirectedSearch
+from .dfs import BoundedDFS, TwoPhaseDFS
+from .random_strategies import RandomBranchSearch, UniformRandomSearch
+
+__all__ = [
+    "BoundedDFS", "CfgDirectedSearch", "ExecutionTree", "RandomBranchSearch",
+    "SearchStrategy", "StrategyContext", "TreeNode", "TwoPhaseDFS",
+    "UniformRandomSearch",
+]

@@ -1,0 +1,84 @@
+"""DFS / BoundedDFS and COMPI's two-phase bound selection (§II-B).
+
+BoundedDFS negates the *deepest* branch on the current path (below the
+depth bound) whose flip side is neither explored nor known-infeasible.
+It is "slow yet steady": it traverses the execution tree systematically,
+which is what gets concolic testing through an MPI program's sanity-check
+ladder — each failing check is flipped in turn until the solver phase is
+reached.
+
+COMPI's refinement: run *pure DFS* for the first ``observe_iterations``
+iterations to observe the maximal constraint-set size (the longest
+execution path), then switch to BoundedDFS with a bound slightly above
+the observed maximum, so the whole execution tree stays in sight while
+runaway depths (unbounded loops) are cut off.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .base import SearchStrategy, StrategyContext
+
+
+class BoundedDFS(SearchStrategy):
+    """Classic CREST bounded depth-first search."""
+
+    def __init__(self, depth_bound: Optional[int] = None,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(rng)
+        self.depth_bound = depth_bound
+        self.name = f"BoundedDFS({depth_bound if depth_bound else '∞'})"
+        self._no_candidates = False
+
+    def current_bound(self, ctx: StrategyContext) -> Optional[int]:
+        return self.depth_bound
+
+    def propose(self, ctx: StrategyContext) -> Iterator[int]:
+        bound = self.current_bound(ctx)
+        deepest = len(ctx.path) - 1
+        if bound is not None:
+            deepest = min(deepest, bound - 1)
+        produced = False
+        for pos in range(deepest, -1, -1):
+            if self.tree.flip_status(ctx.path, pos) == "unexplored":
+                produced = True
+                yield pos
+        self._no_candidates = not produced
+
+    @property
+    def exhausted(self) -> bool:
+        return self._no_candidates
+
+
+class TwoPhaseDFS(BoundedDFS):
+    """COMPI's default: DFS to observe, then BoundedDFS with a derived bound.
+
+    ``fixed_bound`` forces the phase-2 bound (the paper sets 500/600/300
+    per program after observing); otherwise the bound is
+    ``ceil(slack * max_path_seen)`` at the moment of the phase switch.
+    """
+
+    def __init__(self, observe_iterations: int = 50,
+                 fixed_bound: Optional[int] = None, slack: float = 1.2,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__(depth_bound=None, rng=rng)
+        self.observe_iterations = observe_iterations
+        self.fixed_bound = fixed_bound
+        self.slack = slack
+        self._derived_bound: Optional[int] = None
+        self.name = f"TwoPhaseDFS(observe={observe_iterations})"
+
+    def current_bound(self, ctx: StrategyContext) -> Optional[int]:
+        if ctx.iteration < self.observe_iterations:
+            return None  # phase 1: pure DFS, unbounded
+        if self.fixed_bound is not None:
+            return self.fixed_bound
+        if self._derived_bound is None:
+            # "slightly bigger than the observed considering longer
+            # execution path might be observed later"
+            self._derived_bound = max(1, math.ceil(self.slack * self.max_path_seen))
+        return self._derived_bound

@@ -1,0 +1,58 @@
+"""Non-systematic CREST strategies: random branch & uniform random search.
+
+Both pick branches to negate without respecting path order, which is why
+they fail to climb an MPI program's sanity-check ladder (Fig. 4): flipping
+an *early* check discards all progress past it, and the strategies keep
+doing exactly that.
+
+* **Random branch search** picks a random branch *site* seen on the path,
+  then a random occurrence of it.
+* **Uniform random search** picks a path *position* uniformly.
+
+They are kept distinct (as in CREST) because their biases differ: random
+branch search weights sites equally regardless of how often a loop
+re-executes them; uniform random weights loop-heavy sites more.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+import numpy as np
+
+from .base import SearchStrategy, StrategyContext
+
+_MAX_TRIES = 32
+
+
+class RandomBranchSearch(SearchStrategy):
+    """Pick a random covered site, then a random occurrence of it."""
+    name = "RandomBranch"
+
+    def propose(self, ctx: StrategyContext) -> Iterator[int]:
+        if not ctx.path:
+            return
+        sites: dict[int, list[int]] = {}
+        for pos, entry in enumerate(ctx.path):
+            sites.setdefault(entry.site, []).append(pos)
+        site_ids = sorted(sites)
+        for _ in range(min(_MAX_TRIES, 4 * len(site_ids))):
+            site = site_ids[int(self.rng.integers(len(site_ids)))]
+            occurrences = sites[site]
+            pos = occurrences[int(self.rng.integers(len(occurrences)))]
+            if self.tree.flip_status(ctx.path, pos) != "infeasible":
+                yield pos
+
+
+class UniformRandomSearch(SearchStrategy):
+    """Pick a path position uniformly at random."""
+    name = "UniformRandom"
+
+    def propose(self, ctx: StrategyContext) -> Iterator[int]:
+        n = len(ctx.path)
+        if n == 0:
+            return
+        for _ in range(min(_MAX_TRIES, 4 * n)):
+            pos = int(self.rng.integers(n))
+            if self.tree.flip_status(ctx.path, pos) != "infeasible":
+                yield pos

@@ -1,0 +1,11 @@
+"""Linear integer constraint solver (the offline Yices stand-in)."""
+
+from .incremental import IncrementalResult, dependent_slice, solve_incremental
+from .intervals import INF, Box, check_assignment, propagate
+from .search import DEFAULT_NODE_LIMIT, Problem, Solver, SolveStats
+
+__all__ = [
+    "Box", "DEFAULT_NODE_LIMIT", "INF", "IncrementalResult", "Problem",
+    "SolveStats", "Solver", "check_assignment", "dependent_slice",
+    "propagate", "solve_incremental",
+]

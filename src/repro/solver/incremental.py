@@ -1,0 +1,98 @@
+"""Incremental solving: dependency slicing + keep-old-values semantics.
+
+The paper (§III-C) leans on two properties of the underlying incremental
+solver:
+
+1. only the *negated constraint and the constraints dependent upon it*
+   (transitively, through shared variables) are re-solved;
+2. variables outside that slice keep their previous values, so a value
+   that **changed** is "more up-to-date" than one that stayed — the signal
+   used to resolve rank conflicts.
+
+:func:`dependent_slice` computes the transitive variable-sharing closure;
+:func:`solve_incremental` solves the slice and merges the result over the
+previous model, reporting exactly which variables changed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..concolic.expr import Constraint
+from .intervals import Box
+from .search import Problem, Solver
+from .simplify import simplify
+
+
+def dependent_slice(constraints: list[Constraint],
+                    seed_vars: frozenset[int]) -> tuple[list[Constraint], frozenset[int]]:
+    """All constraints transitively sharing a variable with ``seed_vars``.
+
+    Returns (sliced constraints, the closed variable set).
+    """
+    vars_closed = set(seed_vars)
+    picked = [False] * len(constraints)
+    changed = True
+    while changed:
+        changed = False
+        for i, c in enumerate(constraints):
+            if picked[i]:
+                continue
+            cv = c.vars()
+            if cv and not cv.isdisjoint(vars_closed):
+                picked[i] = True
+                new = cv - vars_closed
+                if new:
+                    vars_closed |= new
+                changed = True
+    return [c for i, c in enumerate(constraints) if picked[i]], frozenset(vars_closed)
+
+
+@dataclass
+class IncrementalResult:
+    """Outcome of one incremental solve."""
+
+    assignment: dict[int, int]          # full model (slice ∪ kept old values)
+    changed: set[int] = field(default_factory=set)  # vids whose value moved
+    slice_size: int = 0
+
+    @property
+    def sat(self) -> bool:
+        return True
+
+
+def solve_incremental(constraints: list[Constraint], negated: Constraint,
+                      domains: Box, previous: dict[int, int],
+                      solver: Optional[Solver] = None) -> Optional[IncrementalResult]:
+    """Solve ``constraints ∧ negated`` incrementally against ``previous``.
+
+    ``constraints`` is the retained context (path prefix + MPI semantic
+    constraints + caps); ``negated`` is the flipped branch constraint.
+    Only the dependency slice around ``negated`` is actually solved;
+    every other variable keeps its previous value.  Returns ``None`` when
+    the slice is UNSAT (or the solver gave up).
+    """
+    solver = solver or Solver()
+    # preprocessing: drop duplicate and subsumed context constraints (the
+    # solution set is unchanged; the dependency slice gets much smaller
+    # on loop-generated prefixes)
+    all_constraints = simplify(list(constraints)) + [negated]
+    sliced, closed_vars = dependent_slice(all_constraints, negated.vars())
+    slice_domains: Box = {}
+    for v in closed_vars:
+        if v not in domains:
+            raise KeyError(f"variable v{v} has no domain")
+        slice_domains[v] = domains[v]
+    slice_prev = {v: previous[v] for v in closed_vars if v in previous}
+
+    model = solver.solve(Problem(constraints=sliced, domains=slice_domains,
+                                 previous=slice_prev))
+    if model is None:
+        return None
+
+    assignment = dict(previous)
+    assignment.update(model)
+    changed = {v for v, val in model.items() if previous.get(v) != val}
+    return IncrementalResult(assignment=assignment, changed=changed,
+                             slice_size=len(sliced))

@@ -1,0 +1,117 @@
+"""Integer box domains and bound propagation.
+
+The solver works over *boxes* — per-variable integer intervals.  Bound
+propagation tightens the box against the canonical constraints
+(``<= 0`` / ``== 0``; disequalities don't propagate) until fixpoint or a
+round limit.  An empty interval proves UNSAT for the box.
+
+All arithmetic is exact integer arithmetic; ``±INF`` are large sentinels
+(the inputs COMPI manipulates are ints well inside the sentinel range
+because every variable gets a finite default domain from its kind/cap).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+from ..concolic.expr import Constraint
+
+INF = 10 ** 18
+
+Interval = tuple[int, int]
+Box = dict[int, Interval]
+
+
+def floor_div(a: int, b: int) -> int:
+    """Floor division (explicit name for bound arithmetic)."""
+    return a // b
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling division via negated floor division."""
+    return -((-a) // b)
+
+
+def interval_min(coeff: int, iv: Interval) -> int:
+    """Minimum of coeff*x over x in the interval."""
+    lo, hi = iv
+    return coeff * lo if coeff > 0 else coeff * hi
+
+
+def interval_max(coeff: int, iv: Interval) -> int:
+    """Maximum of coeff*x over x in the interval."""
+    lo, hi = iv
+    return coeff * hi if coeff > 0 else coeff * lo
+
+
+def is_empty(iv: Interval) -> bool:
+    """True when the interval contains no integers."""
+    return iv[0] > iv[1]
+
+
+def propagate_le(constraint: Constraint, box: Box) -> Optional[bool]:
+    """Tighten ``box`` in place against ``lhs <= 0``.
+
+    Returns ``True`` if anything changed, ``None`` if the box became
+    empty (UNSAT), ``False`` otherwise.
+    """
+    lhs = constraint.lhs
+    changed = False
+    # Precompute the minimum of the whole lhs; if > 0 the constraint is
+    # unsatisfiable over this box.
+    total_min = lhs.const + sum(interval_min(c, box[v]) for v, c in lhs.coeffs.items())
+    if total_min > 0:
+        return None
+    for v, c in lhs.coeffs.items():
+        # c*v <= -(const + sum_{u != v} min(cu*u))
+        others = total_min - interval_min(c, box[v])
+        limit = -others
+        lo, hi = box[v]
+        if c > 0:
+            new_hi = floor_div(limit, c)
+            if new_hi < hi:
+                box[v] = (lo, new_hi)
+                changed = True
+        else:
+            new_lo = ceil_div(limit, c)
+            if new_lo > lo:
+                box[v] = (new_lo, hi)
+                changed = True
+        if is_empty(box[v]):
+            return None
+    return changed
+
+
+def propagate(constraints: Iterable[Constraint], box: Box,
+              max_rounds: int = 50) -> bool:
+    """Run LE/EQ propagation to fixpoint.  Returns False on proven UNSAT."""
+    cs: list[Constraint] = []
+    for c in constraints:
+        for n in c.normalized():
+            cs.append(n)
+    for _ in range(max_rounds):
+        any_change = False
+        for c in cs:
+            if c.op == "<=":
+                r = propagate_le(c, box)
+                if r is None:
+                    return False
+                any_change |= bool(r)
+            elif c.op == "==":
+                r1 = propagate_le(Constraint(c.lhs, "<="), box)
+                if r1 is None:
+                    return False
+                r2 = propagate_le(Constraint(c.lhs.scale(-1), "<="), box)
+                if r2 is None:
+                    return False
+                any_change |= bool(r1) or bool(r2)
+            # "!=" does not propagate intervals
+        if not any_change:
+            return True
+    return True
+
+
+def check_assignment(constraints: Iterable[Constraint],
+                     assignment: Mapping[int, int]) -> bool:
+    """Do all constraints hold under the (full) assignment?"""
+    return all(c.evaluate(assignment) for c in constraints)

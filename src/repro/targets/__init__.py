@@ -1,0 +1,12 @@
+"""Target programs for the COMPI evaluation.
+
+* ``seq_demo`` / ``demo`` — the paper's Fig. 1 / Fig. 2 worked examples
+* ``susy``  — SUSY-HMC-like lattice RHMC code (with the 4 seeded bugs)
+* ``hpl``   — HPL-like distributed dense LU benchmark
+* ``imb``   — IMB-MPI1-like MPI benchmark driver
+* ``cmem``  — C memory-allocation emulation (segfault analog)
+"""
+
+from . import cmem
+
+__all__ = ["cmem"]

@@ -1,0 +1,64 @@
+"""C memory-allocation emulation for the seeded SUSY-HMC bugs.
+
+The paper's three segmentation faults share one mechanism: memory is
+allocated with the *wrong element size*::
+
+    Twist_Fermion **src = malloc(Nroot * sizeof(**src));
+
+The buffer is sized in bytes from one struct type but indexed as an array
+of another, so a write past the byte capacity corrupts memory — a crash
+(segmentation fault) at some index.  :class:`CArray` reproduces exactly
+that failure mode in Python: a byte-capacity buffer with element-size
+indexing that raises :class:`SegfaultError` on out-of-bounds access, the
+analog COMPI's error classifier maps to "segmentation fault".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+#: byte sizes of the emulated C types
+SIZEOF_PTR = 8
+
+
+class SegfaultError(Exception):
+    """Out-of-bounds access on emulated C memory (SIGSEGV analog)."""
+
+
+def malloc(nbytes: int) -> "CArray":
+    """``malloc(nbytes)`` — see :class:`CArray`."""
+    return CArray(nbytes)
+
+
+class CArray:
+    """A byte-addressed allocation accessed as an element array.
+
+    ``a.store(i, value, elem_size)`` writes element ``i`` of size
+    ``elem_size`` bytes; if ``(i + 1) * elem_size`` exceeds the allocated
+    byte capacity the process "segfaults".  (Real C would merely corrupt
+    memory and *usually* crash; the deterministic raise models the crash
+    the paper's developers observed and fixed.)
+    """
+
+    def __init__(self, nbytes: int):
+        if nbytes < 0:
+            raise SegfaultError(f"malloc of negative size {nbytes}")
+        self.nbytes = int(nbytes)
+        self._slots: dict[int, Any] = {}
+
+    def _check(self, index: int, elem_size: int) -> None:
+        if index < 0 or (index + 1) * elem_size > self.nbytes:
+            raise SegfaultError(
+                f"write of {elem_size}-byte element at index {index} "
+                f"overruns {self.nbytes}-byte allocation")
+
+    def store(self, index: int, value: Any, elem_size: int = SIZEOF_PTR) -> None:
+        self._check(int(index), elem_size)
+        self._slots[int(index)] = value
+
+    def load(self, index: int, elem_size: int = SIZEOF_PTR) -> Any:
+        self._check(int(index), elem_size)
+        return self._slots.get(int(index))
+
+    def __len__(self) -> int:
+        return self.nbytes

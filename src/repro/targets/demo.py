@@ -1,0 +1,64 @@
+"""The paper's Figure 2 MPI code skeleton: read inputs → sanity check →
+distribute workloads → loop-based solver.
+
+Branch map (condition ids in instrumentation order):
+
+* sanity checks on ``x``, ``y`` and their combination ``x*y``;
+* ``rank == 0`` master/worker split — ``3F``/``4T`` are only executed by
+  non-zero ranks, so a tool recording just the focus process misses them;
+* ``y >= 100`` nested under the worker arm — covering ``4F`` requires the
+  *focus* to be a non-zero rank (COMPI's framework, §III);
+* the ``while`` solver loop.
+"""
+
+from repro.concolic.marking import compi_int
+
+INPUT_SPEC = {
+    "x": {"default": 10, "lo": -2000, "hi": 2000},
+    "y": {"default": 50, "lo": -2000, "hi": 2000},
+}
+
+
+def main(mpi, args):
+    """Entry point: the Fig. 2 read/sanity/distribute/solve skeleton."""
+    mpi.Init()
+    rank = mpi.Comm_rank(mpi.COMM_WORLD)
+    size = mpi.Comm_size(mpi.COMM_WORLD)
+
+    x = compi_int(args["x"], "x")
+    y = compi_int(args["y"], "y")
+
+    # --- sanity check -------------------------------------------------
+    if x <= 0:                        # condition 0
+        mpi.Finalize()
+        return 1
+    if y <= 0:                        # condition 1
+        mpi.Finalize()
+        return 1
+    if x * 50 + y > 100000:           # condition 2: combination check
+        mpi.Finalize()
+        return 1
+
+    # --- distribute workloads ------------------------------------------
+    if rank == 0:                     # condition 3
+        shares = [int(x) // int(size)] * int(size)
+        total = 0
+        i = 0
+        while i < int(size) - 1:      # condition 4 (master gathers)
+            part, _ = mpi.COMM_WORLD.Recv(source=mpi.ANY_SOURCE, tag=1)
+            total += part
+            i += 1
+    else:
+        if y >= 100:                  # condition 5: 5F needs focus != 0
+            work = int(x) // int(size) + 1
+        else:
+            work = int(x) // int(size)
+        mpi.COMM_WORLD.Send(work, dest=0, tag=1)
+
+    # --- loop-based solver ----------------------------------------------
+    i = 0
+    while i < x:                      # condition 6: symbolic loop bound
+        i += 1
+
+    mpi.Finalize()
+    return 0

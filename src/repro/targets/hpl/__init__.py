@@ -1,0 +1,29 @@
+"""HPL-like High-Performance-Linpack target (paper target #2).
+
+A dense-LU benchmark reimplementation faithful to HPL's *testing-relevant*
+structure: ~24 marked integer inputs, a long staged sanity-check ladder
+(the reason BoundedDFS wins Fig. 4), a P×Q process grid built from
+communicator splits, block-cyclic distribution, recursive panel
+factorization with pfact/rfact/nbmin/ndiv variants, six panel-broadcast
+algorithms, row-swap variants, and a residual verification stage.
+
+Instrument with::
+
+    from repro.targets.hpl import MODULES
+    program = instrument_program(MODULES)
+"""
+
+MODULES = [
+    "repro.targets.hpl.params",
+    "repro.targets.hpl.sanity",
+    "repro.targets.hpl.grid",
+    "repro.targets.hpl.panel",
+    "repro.targets.hpl.bcast",
+    "repro.targets.hpl.swap",
+    "repro.targets.hpl.timers",
+    "repro.targets.hpl.lu",
+    "repro.targets.hpl.equil",
+    "repro.targets.hpl.main",
+]
+
+ENTRY = "repro.targets.hpl.main"

@@ -1,0 +1,172 @@
+"""Six panel-broadcast algorithms (HPL's BCAST parameter, values 0-5).
+
+HPL offers increasing-ring, modified increasing-ring, increasing-2-ring,
+modified increasing-2-ring, long (bandwidth-reducing), and modified long.
+Each is a genuinely different message pattern over the row communicator;
+all deliver the root's payload to every row member.
+
+The virtual-relative rank ``vrel = (me - root) mod n`` linearizes the ring
+so the code below reads like the HPL sources.
+"""
+
+
+def bcast_panel(mpi, row_comm, root, payload, variant):
+    """Broadcast ``payload`` from local rank ``root`` over ``row_comm``."""
+    n = row_comm.Get_size()
+    me = row_comm.Get_rank()
+    me = int(me)
+    root = int(root)
+    variant = int(variant)
+    if n == 1:
+        return payload
+    if variant == 0:
+        return _ring(row_comm, me, root, n, payload, modified=False)
+    if variant == 1:
+        return _ring(row_comm, me, root, n, payload, modified=True)
+    if variant == 2:
+        return _two_ring(row_comm, me, root, n, payload, modified=False)
+    if variant == 3:
+        return _two_ring(row_comm, me, root, n, payload, modified=True)
+    if variant == 4:
+        return _long(row_comm, me, root, n, payload, modified=False)
+    return _long(row_comm, me, root, n, payload, modified=True)
+
+
+TAG = 7
+
+
+def _ring(comm, me, root, n, payload, modified):
+    """Increasing ring: root → root+1 → ... → root+n-1.
+
+    The *modified* variant has the root send to both its successor and the
+    last ring member, halving the pipeline latency for the tail.
+    """
+    vrel = (me - root) % n
+    if vrel == 0:
+        comm.Send(payload, dest=(me + 1) % n, tag=TAG)
+        if modified:
+            if n > 2:
+                comm.Send(payload, dest=(root + n - 1) % n, tag=TAG)
+        return payload
+    data, _ = comm.Recv(source=(me - 1) % n if not (modified and vrel == n - 1)
+                        else root, tag=TAG)
+    is_tail = vrel == n - 1
+    if not is_tail:
+        if not (modified and vrel == n - 2 and n > 2):
+            comm.Send(data, dest=(me + 1) % n, tag=TAG)
+        else:
+            # modified ring: the tail already got it straight from the root
+            pass
+    return data
+
+
+def _two_ring(comm, me, root, n, payload, modified):
+    """Two rings: root feeds a chain over each half of the row.
+
+    First chain covers virtual ranks ``1..half-1``, second covers
+    ``half..n-1``.  The modified flavour also feeds the first chain's
+    tail directly from the root (when that chain has length > 1).
+    """
+    vrel = (me - root) % n
+    half = (n + 1) // 2
+    tail = half - 1
+    if vrel == 0:
+        if half > 1:
+            comm.Send(payload, dest=(root + 1) % n, tag=TAG)
+        if n > half:
+            comm.Send(payload, dest=(root + half) % n, tag=TAG)
+        if modified and tail > 1:
+            comm.Send(payload, dest=(root + tail) % n, tag=TAG)
+        return payload
+    if vrel < half:
+        # first chain member
+        if modified and vrel == tail and tail > 1:
+            data, _ = comm.Recv(source=root, tag=TAG)
+        else:
+            data, _ = comm.Recv(source=(me - 1) % n, tag=TAG)
+        nxt = vrel + 1
+        if nxt < half and not (modified and nxt == tail and tail > 1):
+            comm.Send(data, dest=(me + 1) % n, tag=TAG)
+    else:
+        # second chain member
+        if vrel == half:
+            data, _ = comm.Recv(source=root, tag=TAG)
+        else:
+            data, _ = comm.Recv(source=(me - 1) % n, tag=TAG)
+        if vrel + 1 < n:
+            comm.Send(data, dest=(me + 1) % n, tag=TAG)
+    return data
+
+
+def _long(comm, me, root, n, payload, modified):
+    """Bandwidth-reducing "long" variant: scatter chunks along the ring,
+    then allgather them back (HPL's spread + roll).
+
+    The payload must be a list of row-chunks; scalars/arrays are wrapped.
+    The modified flavour rolls in the opposite direction.
+    """
+    chunks = _split(payload, n)
+    vrel = (me - root) % n
+    # spread: root sends chunk i to virtual rank i
+    if vrel == 0:
+        i = 1
+        while i < n:
+            comm.Send(chunks[i], dest=(root + i) % n, tag=TAG)
+            i += 1
+        mine = {0: chunks[0]}
+    else:
+        data, _ = comm.Recv(source=root, tag=TAG)
+        mine = {vrel: data}
+    # roll: n-1 steps of neighbour exchange accumulate all chunks
+    step = 0
+    while step < n - 1:
+        if modified:
+            dst = (me - 1) % n
+            src = (me + 1) % n
+            send_idx = (vrel + step) % n
+            recv_idx = (vrel + step + 1) % n
+        else:
+            dst = (me + 1) % n
+            src = (me - 1) % n
+            send_idx = (vrel - step) % n
+            recv_idx = (vrel - step - 1) % n
+        got, _ = comm.Sendrecv(mine[send_idx], dest=dst, sendtag=TAG,
+                               source=src, recvtag=TAG)
+        mine[recv_idx] = got
+        step += 1
+    return _join(mine, n)
+
+
+def _split(payload, n):
+    """Split a panel payload into ``n`` roughly equal chunks."""
+    import numpy as np
+
+    if isinstance(payload, np.ndarray):
+        return [c for c in np.array_split(payload, n, axis=0)]
+    if isinstance(payload, (list, tuple)):
+        out = []
+        size = len(payload)
+        base = size // n
+        extra = size % n
+        at = 0
+        for i in range(n):
+            cnt = base + (1 if i < extra else 0)
+            out.append(list(payload[at:at + cnt]))
+            at += cnt
+        return out
+    # opaque object: only chunk 0 carries it
+    return [payload] + [None] * (n - 1)
+
+
+def _join(mine, n):
+    import numpy as np
+
+    parts = [mine[i] for i in range(n)]
+    if all(isinstance(p, np.ndarray) for p in parts):
+        return np.concatenate(parts, axis=0)
+    if all(isinstance(p, list) for p in parts):
+        out = []
+        for p in parts:
+            out.extend(p)
+        return out
+    return next(p for p in parts if p is not None)

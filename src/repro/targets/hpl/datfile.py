@@ -1,0 +1,125 @@
+"""HPL.dat rendering and parsing.
+
+Real HPL reads its 24+ parameters from a positional text file
+(``HPL.dat``); the paper's targets "read inputs ... from either a
+user-specified file or a command line" (§I-A).  This module provides both
+directions:
+
+* :func:`render` — write a testcase's inputs as an HPL.dat-style file;
+* :func:`parse` — read one back into the args dict the target consumes,
+  with real parser behaviour: positional lines, a value followed by a
+  comment, count-prefixed value lists (of which the *first* entry is the
+  one the paper marks — "we treat each array as one regular variable").
+
+The concolic campaign can round-trip through this layer
+(``CompiConfig``-independent; see ``read_args_from_dat``) so input flow
+matches the C original's file-based shape.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+#: (args key, HPL.dat label, is_list) in file order — mirrors HPL.dat
+FIELDS = [
+    ("ntests", "# of problems sizes (N)", False),
+    ("n", "Ns", True),
+    ("nb", "NBs", True),
+    ("pmap", "PMAP process mapping (0=Row-,1=Column-major)", False),
+    ("p", "Ps", True),
+    ("q", "Qs", True),
+    ("threshold", "threshold", False),
+    ("npfacts", "# of panel fact", False),
+    ("pfact", "PFACTs (0=left, 1=Crout, 2=Right)", True),
+    ("nbmin", "NBMINs (>= 1)", True),
+    ("ndiv", "NDIVs", True),
+    ("nrfacts", "# of recursive panel fact.", False),
+    ("rfact", "RFACTs (0=left, 1=Crout, 2=Right)", True),
+    ("bcast", "BCASTs (0=1rg,1=1rM,2=2rg,3=2rM,4=Lng,5=LnM)", True),
+    ("depth", "DEPTHs (>=0)", True),
+    ("swap", "SWAP (0=bin-exch,1=long,2=mix)", False),
+    ("swap_threshold", "swapping threshold", False),
+    ("l1form", "L1 in (0=transposed,1=no-transposed) form", False),
+    ("uform", "U  in (0=transposed,1=no-transposed) form", False),
+    ("equil", "Equilibration (0=no,1=yes)", False),
+    ("align", "memory alignment in double (> 0)", False),
+    ("seed", "random seed", False),
+    ("verify", "verification (0=no,1=yes)", False),
+    ("frac", "fraction of memory to use (%)", False),
+]
+
+HEADER = [
+    "HPLinpack benchmark input file",
+    "(reproduction of the COMPI/IPDPS-2018 evaluation target)",
+]
+
+
+class DatError(ValueError):
+    """Malformed HPL.dat content."""
+
+
+def render(args: dict) -> str:
+    """Serialize args (any superset of the field keys) to HPL.dat text."""
+    lines = list(HEADER)
+    for key, label, is_list in FIELDS:
+        try:
+            value = int(args[key])
+        except KeyError:
+            raise DatError(f"missing parameter {key!r}") from None
+        if is_list:
+            lines.append(f"1            # of {key} entries")
+            lines.append(f"{value}            {label}")
+        else:
+            lines.append(f"{value}            {label}")
+    return "\n".join(lines) + "\n"
+
+
+def parse(text: str) -> dict:
+    """Parse HPL.dat text back to an args dict (first entry of lists)."""
+    lines = [l for l in text.splitlines()]
+    if len(lines) < 2:
+        raise DatError("file too short: missing header")
+    pos = 2                      # skip the two header lines
+    out: dict[str, int] = {}
+    for key, _label, is_list in FIELDS:
+        if is_list:
+            count = _value_at(lines, pos, f"count of {key}")
+            pos += 1
+            if count < 1:
+                raise DatError(f"{key}: list count {count} < 1")
+            values = []
+            i = 0
+            while i < count:
+                values.append(_value_at(lines, pos, key))
+                pos += 1
+                i += 1
+            out[key] = values[0]     # the paper marks one per array
+        else:
+            out[key] = _value_at(lines, pos, key)
+            pos += 1
+    return out
+
+
+def _value_at(lines: list[str], pos: int, what: str) -> int:
+    if pos >= len(lines):
+        raise DatError(f"unexpected end of file reading {what}")
+    token = lines[pos].split()
+    if not token:
+        raise DatError(f"blank line where {what} expected (line {pos + 1})")
+    try:
+        return int(token[0])
+    except ValueError:
+        raise DatError(
+            f"non-integer {token[0]!r} for {what} (line {pos + 1})") from None
+
+
+def read_args_from_dat(path: Union[str, "object"]) -> dict:
+    """Load an HPL.dat file into the target's args dict."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return parse(fh.read())
+
+
+def write_dat(args: dict, path) -> None:
+    """Write the args dict to ``path`` in HPL.dat format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render(args))

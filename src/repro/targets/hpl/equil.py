@@ -1,0 +1,121 @@
+"""Row/column equilibration (HPL's EQUIL option), done for real.
+
+Poorly scaled systems lose accuracy in LU; equilibration rescales
+``A' = R·A·C`` with power-of-two diagonal scalings so every row and
+column has magnitude ~1, solves ``A'·y = R·b``, and recovers
+``x = C·y``.  Powers of two keep the arithmetic exact (mantissas
+untouched).
+
+Everything is computed distributedly on the block-cyclic layout:
+
+* row maxima combine across the grid *row* communicator (the ranks that
+  share block rows);
+* column maxima combine across the grid *column* communicator;
+* the right-hand-side column is row-scaled but never column-scaled
+  (it is data, not a solution column).
+"""
+
+import math
+
+import numpy as np
+
+from repro.mpi.datatypes import MAX
+
+from .lu import block_extents
+
+
+def _pow2_scale(m):
+    """Scale factor 2^-round(log2 m), or 1.0 for zero/degenerate rows."""
+    if m <= 0.0 or not math.isfinite(m):
+        return 1.0
+    return 2.0 ** (-round(math.log2(m)))
+
+
+def _my_global_rows(local, grid):
+    """Rows of every block row this grid row owns — derived from the
+    GLOBAL layout, not from stored blocks: a rank may own no blocks yet
+    must still join its communicator's reductions with matching shapes."""
+    n, nb = local.n, local.nb
+    rows = []
+    I = grid.myrow
+    while I * nb < n:
+        rows.extend(range(I * nb, min((I + 1) * nb, n)))
+        I += grid.nprow
+    return rows
+
+
+def _my_global_cols(local, grid):
+    n, nb = local.n, local.nb
+    cols = []
+    J = grid.mycol
+    while J * nb < n:                  # A columns only; b never col-scales
+        cols.extend(range(J * nb, min((J + 1) * nb, n)))
+        J += grid.npcol
+    return cols
+
+
+def equilibrate(grid, local):
+    """Scale the local blocks in place; returns {global_col: scale}.
+
+    Collective over the grid's row and column communicators.
+    """
+    n, nb = local.n, local.nb
+
+    # --- row scaling -----------------------------------------------------
+    my_rows = _my_global_rows(local, grid)
+    row_max = np.zeros(len(my_rows))
+    index_of_row = {r: i for i, r in enumerate(my_rows)}
+    for (bi, bj), blk in local.blocks.items():
+        i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+        a_cols = min(j1, n) - j0       # exclude the b column from maxima
+        if a_cols <= 0:
+            continue
+        m = np.max(np.abs(blk[:, :a_cols]), axis=1)
+        for i in range(i0, i1):
+            idx = index_of_row[i]
+            row_max[idx] = max(row_max[idx], m[i - i0])
+    row_max = grid.row_comm.Allreduce(row_max, MAX)
+    row_scale = {r: _pow2_scale(row_max[i]) for i, r in enumerate(my_rows)}
+    for (bi, bj), blk in local.blocks.items():
+        i0, i1, _j0, _j1 = block_extents(bi, bj, n, nb)
+        scales = np.array([row_scale[i] for i in range(i0, i1)])
+        blk *= scales[:, None]          # b column row-scales too: b' = R b
+
+    # --- column scaling -----------------------------------------------------
+    my_cols = _my_global_cols(local, grid)
+    col_max = np.zeros(len(my_cols))
+    index_of_col = {c: i for i, c in enumerate(my_cols)}
+    for (bi, bj), blk in local.blocks.items():
+        i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+        for j in range(j0, min(j1, n)):
+            idx = index_of_col[j]
+            col_max[idx] = max(col_max[idx],
+                               float(np.max(np.abs(blk[:, j - j0]))))
+    col_max = grid.col_comm.Allreduce(col_max, MAX)
+    col_scale = {c: _pow2_scale(col_max[i]) for i, c in enumerate(my_cols)}
+    for (bi, bj), blk in local.blocks.items():
+        i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+        for j in range(j0, min(j1, n)):
+            blk[:, j - j0] *= col_scale[j]
+
+    return col_scale
+
+
+def gather_col_scales(grid, col_scale):
+    """Assemble the full column-scale vector at grid rank (0, 0)."""
+    gathered = grid.grid_comm.Gather(dict(col_scale), root=0)
+    if gathered is None:
+        return None
+    full = {}
+    for part in gathered:
+        full.update(part)
+    return full
+
+
+def unscale_solution(x, col_scales_full):
+    """x_j = c_j · y_j — recover the original system's solution."""
+    out = np.array(x, copy=True)
+    for j, c in col_scales_full.items():
+        if j < len(out):
+            out[j] *= c
+    return out

@@ -1,0 +1,58 @@
+"""P×Q process grid construction (``HPL_grid_init`` analog).
+
+Ranks ``0 .. p*q-1`` form the grid; surplus ranks sit out (HPL does the
+same when the world is larger than P×Q).  ``pmap`` selects row-major or
+column-major placement.  Row and column communicators come from
+``MPI_Comm_split`` — which is exactly where COMPI's ``rc`` (local rank)
+marking and the local→global mapping table come into play.
+"""
+
+
+class Grid:
+    """One rank's view of the process grid."""
+
+    __slots__ = ("nprow", "npcol", "myrow", "mycol", "row_comm", "col_comm",
+                 "in_grid", "grid_comm")
+
+    def __init__(self, nprow, npcol, myrow, mycol, row_comm, col_comm,
+                 in_grid, grid_comm):
+        self.nprow = nprow
+        self.npcol = npcol
+        self.myrow = myrow
+        self.mycol = mycol
+        self.row_comm = row_comm
+        self.col_comm = col_comm
+        self.in_grid = in_grid
+        self.grid_comm = grid_comm
+
+
+def grid_init(mpi, rank, size, p, q, pmap):
+    """Build the grid.  ``rank``/``size`` may be symbolic (rw/sw marks).
+
+    Returns a :class:`Grid`; ranks outside the grid get ``in_grid=False``
+    and ``None`` communicators (every rank must still make the same
+    ``Split`` calls — MPI collectives are collective).
+    """
+    p = int(p)
+    q = int(q)
+    ingrid = rank < p * q               # symbolic: needs rank variation
+    if ingrid:
+        if pmap == 0:                   # row-major
+            myrow = int(rank) // q
+            mycol = int(rank) % q
+        else:                           # column-major
+            myrow = int(rank) % p
+            mycol = int(rank) // p
+        grid_comm = mpi.COMM_WORLD.Split(color=0, key=myrow * q + mycol)
+        row_comm = mpi.COMM_WORLD.Split(color=myrow, key=mycol)
+        col_comm = mpi.COMM_WORLD.Split(color=p + mycol, key=myrow)
+        # register the split communicators with the concolic layer: local
+        # rank / size queries are the rc marking sites (§III-A)
+        _ = mpi.Comm_rank(row_comm)
+        _ = mpi.Comm_rank(col_comm)
+        return Grid(p, q, myrow, mycol, row_comm, col_comm, True, grid_comm)
+    # surplus ranks: participate in the splits with negative colors
+    mpi.COMM_WORLD.Split(color=-1)
+    mpi.COMM_WORLD.Split(color=-1)
+    mpi.COMM_WORLD.Split(color=-1)
+    return Grid(p, q, -1, -1, None, None, False, None)

@@ -1,0 +1,347 @@
+"""Distributed block-cyclic LU factorization + solve + verification.
+
+The computational core of the HPL target.  Data layout: the augmented
+matrix ``[A | b]`` (``n × (n+1)``) is split into ``nb × nb`` blocks;
+block ``(I, J)`` lives on grid rank ``(I mod P, J mod Q)``.  The right-
+looking factorization loop per panel ``k``:
+
+1. the owning grid column gathers panel ``k`` to the diagonal row's rank,
+   which factors it (recursive RFACT over PFACT base cases);
+2. factored panel + pivots broadcast down the column, then across the
+   rows with the selected BCAST variant (optionally transposed — L1FORM);
+3. every rank applies the pivot swaps to its trailing columns (SWAP
+   variants) and refreshes its panel-column blocks;
+4. the pivot row's grid row triangular-solves its trailing blocks into U
+   (optionally transposed — UFORM) and broadcasts them down the columns;
+5. everyone GEMM-updates its trailing blocks; with DEPTH=1 the next
+   panel's column is updated *first* (lookahead code path).
+
+The b column rides along as the last column of the trailing matrix, so
+after the loop it holds ``y = L⁻¹Pb``; back-substitution and the residual
+check happen on the gathered result at grid rank (0,0).
+"""
+
+import numpy as np
+
+from .bcast import bcast_panel
+from .swap import apply_swaps
+
+TAG_GATHER = 21
+EPS = np.finfo(np.float64).eps
+
+
+# ----------------------------------------------------------------------
+# deterministic matrix generation (the HPL_pdmatgen analog)
+# ----------------------------------------------------------------------
+def gen_block(i0, i1, j0, j1, n, seed):
+    """Entries of the augmented matrix for global index ranges.
+
+    Pseudo-random in [-0.5, 0.5) from a trigonometric hash; the diagonal
+    gets ``+n`` so the system is diagonally dominant (no pathological
+    pivots in testing runs).  Column ``n`` is the right-hand side b.
+    """
+    ii = np.arange(i0, i1, dtype=np.float64)[:, None]
+    jj = np.arange(j0, j1, dtype=np.float64)[None, :]
+    v = np.sin(ii * 12.9898 + jj * 78.233 + float(seed) * 0.6180339887) * 43758.5453
+    a = v - np.floor(v) - 0.5
+    diag = (ii == jj)
+    if np.any(diag):
+        a = a + diag * float(n)
+    return a
+
+
+def block_extents(I, J, n, nb):
+    """Global (row, col) index ranges of block (I, J)."""
+    i0, i1 = I * nb, min((I + 1) * nb, n)
+    j0, j1 = J * nb, min((J + 1) * nb, n + 1)
+    return i0, i1, j0, j1
+
+
+class LocalBlocks:
+    """This rank's slice of the block-cyclic matrix."""
+
+    def __init__(self, n, nb, grid, seed):
+        self.n = int(n)
+        self.nb = int(nb)
+        self.grid = grid
+        self.blocks = {}
+        nblk_rows = _nblocks(self.n, self.nb)
+        nblk_cols = _nblocks(self.n + 1, self.nb)
+        I = 0
+        while I < nblk_rows:
+            if I % grid.nprow == grid.myrow:
+                J = 0
+                while J < nblk_cols:
+                    if J % grid.npcol == grid.mycol:
+                        i0, i1, j0, j1 = block_extents(I, J, self.n, self.nb)
+                        if i1 > i0 and j1 > j0:
+                            self.blocks[(I, J)] = gen_block(i0, i1, j0, j1,
+                                                            self.n, seed)
+                    J += 1
+            I += 1
+
+    # -- row access over the trailing column range ----------------------
+    def get_row(self, r, col_from):
+        """Concatenated local slice of global row ``r`` restricted to
+        global columns >= ``col_from`` (None if no such columns here)."""
+        I = r // self.nb
+        parts = []
+        for (bi, bj), blk in sorted(self.blocks.items()):
+            if bi != I:
+                continue
+            i0, i1, j0, j1 = block_extents(bi, bj, self.n, self.nb)
+            lo = max(j0, col_from)
+            if lo >= j1:
+                continue
+            parts.append(blk[r - i0, lo - j0:])
+        if not parts:
+            return None
+        return np.concatenate(parts)
+
+    def set_row(self, r, data, col_from):
+        I = r // self.nb
+        at = 0
+        for (bi, bj), blk in sorted(self.blocks.items()):
+            if bi != I:
+                continue
+            i0, i1, j0, j1 = block_extents(bi, bj, self.n, self.nb)
+            lo = max(j0, col_from)
+            if lo >= j1:
+                continue
+            w = j1 - lo
+            blk[r - i0, lo - j0:] = data[at:at + w]
+            at += w
+
+
+def _nblocks(count, nb):
+    return (count + nb - 1) // nb
+
+
+# ----------------------------------------------------------------------
+# the factorization driver
+# ----------------------------------------------------------------------
+def factorize(mpi, grid, local, params, timers=None):
+    """Right-looking LU over the block-cyclic layout (in place).
+
+    ``timers`` is an optional :class:`~repro.targets.hpl.timers.PhaseTimers`
+    collecting the per-phase breakdown real HPL reports.
+    """
+    from .timers import PhaseTimers
+
+    timers = timers or PhaseTimers()
+    n, nb = local.n, local.nb
+    depth = int(params.depth)
+    sym_n = params.n                     # symbolic: the loop bound below is
+    # the C original's `for (j = 0; j < N; j += NB)` — comparing against
+    # the *marked* N keeps the panel loop's exit constraint linear in N
+    k = 0
+    while k * nb < sym_n:
+        kq = k % grid.npcol
+        krow = k % grid.nprow
+        w = min(nb, n - k * nb)          # panel width (A columns only)
+        trailing_from = k * nb + w
+        with timers.phase("pfact"):
+            panel, pivots = _factor_and_spread(mpi, grid, local, params, k,
+                                               kq, krow, w)
+        _refresh_panel_column(grid, local, k, kq, panel, w)
+        with timers.phase("swap"):
+            apply_swaps(grid.col_comm, grid.myrow, grid.nprow, nb, k, pivots,
+                        lambda r: local.get_row(r, trailing_from),
+                        lambda r, d: local.set_row(r, d, trailing_from),
+                        params.swap, params.swap_threshold, w)
+        with timers.phase("bcast"):
+            u_blocks = _compute_and_spread_u(grid, local, params, k, krow, w,
+                                             trailing_from, panel)
+        with timers.phase("update"):
+            if depth == 1 and (k + 1) * nb < n:
+                # lookahead: bring the next panel's column up to date first
+                _update_trailing(local, grid, k, w, trailing_from, panel,
+                                 u_blocks, only_block_col=k + 1)
+                _update_trailing(local, grid, k, w, trailing_from, panel,
+                                 u_blocks, skip_block_col=k + 1)
+            else:
+                _update_trailing(local, grid, k, w, trailing_from, panel,
+                                 u_blocks)
+        k += 1
+
+
+def _gather_panel(grid, local, k, w):
+    """Column members ship their panel rows to the column root (grid row
+    k % P); returns (panel, row_offsets) on the root, (None, None) off it."""
+    n, nb = local.n, local.nb
+    mine = []
+    for (bi, bj), blk in sorted(local.blocks.items()):
+        if bj != k:                      # only the panel's block column
+            continue
+        if bi < k:
+            continue
+        i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+        mine.append((i0, blk[:, :w].copy()))
+    gathered = grid.col_comm.Gather(mine, root=k % grid.nprow)
+    if gathered is None:
+        return None
+    pieces = []
+    for contrib in gathered:
+        pieces.extend(contrib)
+    pieces.sort(key=lambda t: t[0])
+    panel = np.concatenate([p for (_i0, p) in pieces], axis=0)
+    return panel
+
+
+def _factor_and_spread(mpi, grid, local, params, k, kq, krow, w):
+    """Gather → factor → column bcast → row bcast.  Returns (panel, pivots)
+    everywhere on the grid."""
+    from .panel import factor_panel
+
+    if grid.mycol == kq:
+        panel = _gather_panel(grid, local, k, w)
+        if grid.myrow == krow:
+            pivots = factor_panel(panel, params.pfact, params.rfact,
+                                  params.nbmin, params.ndiv)
+        else:
+            panel, pivots = None, None
+        package = grid.col_comm.Bcast((panel, pivots), root=krow)
+        panel, pivots = package
+        if int(params.l1form) == 1:
+            # transposed-L storage: ship the panel transposed
+            payload = (np.ascontiguousarray(panel.T), pivots, True)
+        else:
+            payload = (panel, pivots, False)
+    else:
+        payload = None
+    payload = bcast_panel(mpi, grid.row_comm, kq, payload, params.bcast)
+    panel, pivots, transposed = payload
+    if transposed:
+        panel = np.ascontiguousarray(panel.T)
+    return panel, pivots
+
+
+def _refresh_panel_column(grid, local, k, kq, panel, w):
+    """Owners of block column ``k`` overwrite their blocks with the
+    factored panel values (rows are panel-internal, already pivoted)."""
+    if grid.mycol != kq:
+        return
+    n, nb = local.n, local.nb
+    base = k * nb
+    for (bi, bj), blk in sorted(local.blocks.items()):
+        if bj != k or bi < k:
+            continue
+        i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+        blk[:, :w] = panel[i0 - base:i1 - base, :]
+
+
+def _compute_and_spread_u(grid, local, params, k, krow, w, trailing_from,
+                          panel):
+    """Pivot grid row solves U for its trailing blocks, then broadcasts
+    each down its column.  Returns {J: U_block} for this rank's columns."""
+    n, nb = local.n, local.nb
+    l_kk = panel[:w, :w]
+    u_blocks = {}
+    my_u = {}
+    if grid.myrow == krow:
+        for (bi, bj), blk in sorted(local.blocks.items()):
+            if bi != k:
+                continue
+            i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+            lo = max(j0, trailing_from)
+            if lo >= j1:
+                continue
+            u = blk[:, lo - j0:]
+            _trsm_lower_unit_rows(l_kk, u)
+            blk[:, lo - j0:] = u
+            my_u[bj] = u
+    # Column broadcast of each U block from the pivot row.  The column
+    # list must be derived from the GLOBAL layout (not from the blocks
+    # this rank happens to store): every member of the column communicator
+    # has to join every Bcast, even a grid row with no local blocks.
+    nblk_cols = _nblocks(n + 1, nb)
+    cols_here = [J for J in range(nblk_cols)
+                 if J % grid.npcol == grid.mycol
+                 and max(J * nb, trailing_from) < min((J + 1) * nb, n + 1)]
+    for J in cols_here:
+        payload = my_u.get(J) if grid.myrow == krow else None
+        if int(params.uform) == 1 and payload is not None:
+            payload = ("T", np.ascontiguousarray(payload.T))
+        elif payload is not None:
+            payload = ("N", payload)
+        got = grid.col_comm.Bcast(payload, root=krow)
+        form, data = got
+        u_blocks[J] = np.ascontiguousarray(data.T) if form == "T" else data
+    return u_blocks
+
+
+def _has_trailing(bi, bj, local, trailing_from):
+    _i0, _i1, j0, j1 = block_extents(bi, bj, local.n, local.nb)
+    return max(j0, trailing_from) < j1
+
+
+def _update_trailing(local, grid, k, w, trailing_from, panel, u_blocks,
+                     only_block_col=None, skip_block_col=None):
+    """A[I, J](trailing) -= L[I] @ U[J] for local blocks below the pivot."""
+    n, nb = local.n, local.nb
+    base = k * nb
+    for (bi, bj), blk in sorted(local.blocks.items()):
+        if bi <= k:
+            continue
+        if only_block_col is not None and bj != only_block_col:
+            continue
+        if skip_block_col is not None and bj == skip_block_col:
+            continue
+        i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+        lo = max(j0, trailing_from)
+        if lo >= j1:
+            continue
+        l_part = panel[i0 - base:i1 - base, :w]
+        # u_blocks[bj] covers exactly this block's trailing column range
+        # (both sides computed lo = max(j0, trailing_from))
+        blk[:, lo - j0:] -= l_part @ u_blocks[bj]
+
+
+def _trsm_lower_unit_rows(l, b):
+    """b ← L⁻¹ b for unit-lower L (in place, row recurrence)."""
+    m = l.shape[0]
+    i = 1
+    while i < m:
+        b[i, :] -= l[i, :i] @ b[:i, :]
+        i += 1
+
+
+# ----------------------------------------------------------------------
+# back substitution + verification (on the gathered result)
+# ----------------------------------------------------------------------
+def gather_matrix(grid, local):
+    """Assemble the full factored augmented matrix at grid rank (0, 0)."""
+    contrib = [(bi, bj, blk) for (bi, bj), blk in sorted(local.blocks.items())]
+    gathered = grid.grid_comm.Gather(contrib, root=0)
+    if gathered is None:
+        return None
+    n, nb = local.n, local.nb
+    full = np.zeros((n, n + 1))
+    for part in gathered:
+        for bi, bj, blk in part:
+            i0, i1, j0, j1 = block_extents(bi, bj, n, nb)
+            full[i0:i1, j0:j1] = blk
+    return full
+
+
+def back_substitute(full, n):
+    """Solve U x = y from the factored augmented matrix."""
+    x = np.zeros(n)
+    y = full[:, n]
+    i = n - 1
+    while i >= 0:
+        s = y[i] - full[i, i + 1:n] @ x[i + 1:]
+        x[i] = s / full[i, i]
+        i -= 1
+    return x
+
+
+def residual_check(n, seed, x, threshold):
+    """HPL's scaled residual: ||Ax-b||∞ / (eps·(||A||∞·||x||∞+||b||∞)·n)."""
+    a = gen_block(0, n, 0, n, n, seed)
+    b = gen_block(0, n, n, n + 1, n, seed)[:, 0]
+    r = a @ x - b
+    denom = EPS * (np.abs(a).sum(axis=1).max() * np.abs(x).max()
+                   + np.abs(b).max()) * max(n, 1)
+    resid = float(np.abs(r).max() / denom) if denom > 0 else 0.0
+    return resid, resid < float(threshold)

@@ -1,0 +1,101 @@
+"""HPL target entry point: read → sanity → grid → solve → verify.
+
+The classic SPMD shape the paper's Figure 2 sketches, at HPL scale.
+Returns 0 for valid runs (including graceful sanity rejections, like real
+HPL's early exit) and 2 when the residual check FAILs — COMPI logs
+nonzero exits as error-inducing inputs (§V).
+"""
+
+from .grid import grid_init
+from .lu import (LocalBlocks, back_substitute, factorize, gather_matrix,
+                 residual_check)
+from .params import read_params
+from .sanity import check_params
+
+INPUT_SPEC = {
+    "ntests": {"default": 1, "lo": -4, "hi": 12},
+    "n": {"default": 64, "lo": -1200, "hi": 1200},
+    "nb": {"default": 8, "lo": -64, "hi": 600},
+    "pmap": {"default": 0, "lo": -2, "hi": 3},
+    "p": {"default": 2, "lo": -4, "hi": 20},
+    "q": {"default": 2, "lo": -4, "hi": 20},
+    "threshold": {"default": 16, "lo": -16, "hi": 64},
+    "npfacts": {"default": 1, "lo": -2, "hi": 5},
+    "pfact": {"default": 2, "lo": -2, "hi": 4},
+    "nbmin": {"default": 4, "lo": -4, "hi": 32},
+    "ndiv": {"default": 2, "lo": 0, "hi": 10},
+    "nrfacts": {"default": 1, "lo": -2, "hi": 5},
+    "rfact": {"default": 2, "lo": -2, "hi": 4},
+    "bcast": {"default": 0, "lo": -2, "hi": 7},
+    "depth": {"default": 0, "lo": -2, "hi": 3},
+    "swap": {"default": 0, "lo": -2, "hi": 4},
+    "swap_threshold": {"default": 64, "lo": -8, "hi": 1300},
+    "l1form": {"default": 0, "lo": -2, "hi": 3},
+    "uform": {"default": 0, "lo": -2, "hi": 3},
+    "equil": {"default": 1, "lo": -2, "hi": 3},
+    "align": {"default": 8, "lo": -8, "hi": 2048},
+    "seed": {"default": 42, "lo": 0, "hi": 10 ** 6},
+    "verify": {"default": 1, "lo": -2, "hi": 3},
+    "frac": {"default": 60, "lo": -10, "hi": 120},
+}
+
+
+def main(mpi, args):
+    """HPL entry point; see the module docstring for the phase shape."""
+    mpi.Init()
+    rank = mpi.Comm_rank(mpi.COMM_WORLD)
+    size = mpi.Comm_size(mpi.COMM_WORLD)
+
+    params = read_params(args)
+    err = check_params(params, size)
+    if err != 0:
+        # invalid HPL.dat: print-and-exit in real HPL; graceful 0 here
+        mpi.Finalize()
+        return 0
+
+    grid = grid_init(mpi, rank, size, params.p, params.q, params.pmap)
+    exit_code = 0
+    if grid.in_grid:
+        ntests = int(params.ntests)
+        t = 0
+        while t < ntests:
+            exit_code = _one_solve(mpi, grid, params, t)
+            if exit_code != 0:
+                break
+            t += 1
+    mpi.COMM_WORLD.Barrier()
+    mpi.Finalize()
+    return exit_code
+
+
+def _one_solve(mpi, grid, params, test_index):
+    from .equil import equilibrate, gather_col_scales, unscale_solution
+
+    n = int(params.n)
+    nb = int(params.nb)
+    seed = int(params.seed) + test_index
+    if n == 0:
+        return 0                         # empty system: nothing to do
+    local = LocalBlocks(n, nb, grid, seed)
+    col_scales_full = None
+    if params.equil == 1:
+        # real equilibration: solve R·A·C y = R·b, recover x = C·y
+        col_scale = equilibrate(grid, local)
+        col_scales_full = gather_col_scales(grid, col_scale)
+    factorize(mpi, grid, local, params)
+    full = gather_matrix(grid, local)
+    status = 0
+    if full is not None:                 # grid rank (0, 0)
+        x = back_substitute(full, n)
+        if col_scales_full is not None:
+            x = unscale_solution(x, col_scales_full)
+        if params.verify == 1:
+            resid, passed = residual_check(n, seed, x, params.threshold)
+            if passed:
+                status = 0
+            else:
+                status = 2               # FAILED residual → nonzero exit
+        else:
+            status = 0
+    status = grid.grid_comm.Bcast(status, root=0)
+    return status

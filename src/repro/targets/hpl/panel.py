@@ -1,0 +1,186 @@
+"""Panel factorization: recursive rfact over pfact base cases.
+
+HPL factors each ``nb``-wide panel recursively: the panel splits into
+``ndiv`` parts until narrower than ``nbmin``, then a base variant factors
+the leaf — left-looking, Crout, or right-looking (``PFACT``); the
+recursive combining step comes in the same three flavours (``RFACT``).
+We reproduce that structure on the *gathered* panel (an ``m × w`` numpy
+block, partial pivoting over rows).
+
+Every variant computes the same factorization (PA = LU with unit-lower L
+stored below the diagonal); they differ in update *order*, which makes
+them distinct branch territory for a testing tool while staying
+numerically verifiable.
+"""
+
+import numpy as np
+
+TINY = 1e-300
+
+
+def _pivot_and_scale(a, j, pivots):
+    """Pick the partial pivot for column ``j``, swap, scale the column."""
+    k = int(np.argmax(np.abs(a[j:, j]))) + j
+    pivots.append(k)
+    if k != j:
+        a[[j, k], :] = a[[k, j], :]
+    pivot = a[j, j]
+    if abs(pivot) < TINY:
+        a[j, j] = TINY if pivot >= 0 else -TINY
+        pivot = a[j, j]
+    a[j + 1:, j] /= pivot
+
+
+def factor_left(a, pivots):
+    """Left-looking: defer updates; catch a column up just before use."""
+    w = a.shape[1]
+    j = 0
+    while j < w:
+        if j > 0:
+            # y ← L[:j,:j]⁻¹ a[:j,j]   (unit lower triangular solve)
+            i = 1
+            while i < j:
+                a[i, j] -= a[i, :i] @ a[:i, j]
+                i += 1
+            a[j:, j] -= a[j:, :j] @ a[:j, j]
+        _pivot_and_scale(a, j, pivots)
+        j += 1
+    return a
+
+
+def factor_crout(a, pivots):
+    """Crout: at step j update column j and row j, nothing trailing."""
+    w = a.shape[1]
+    j = 0
+    while j < w:
+        if j > 0:
+            a[j:, j] -= a[j:, :j] @ a[:j, j]
+        _pivot_and_scale(a, j, pivots)
+        if j + 1 < w:
+            a[j, j + 1:] -= a[j, :j] @ a[:j, j + 1:]
+        j += 1
+    return a
+
+
+def factor_right(a, pivots):
+    """Right-looking: eager rank-1 update of the trailing block."""
+    w = a.shape[1]
+    j = 0
+    while j < w:
+        _pivot_and_scale(a, j, pivots)
+        if j + 1 < w:
+            a[j + 1:, j + 1:] -= np.outer(a[j + 1:, j], a[j, j + 1:])
+        j += 1
+    return a
+
+
+def _base_factor(a, pfact, pivots):
+    if pfact == 0:
+        factor_left(a, pivots)
+    elif pfact == 1:
+        factor_crout(a, pivots)
+    else:
+        factor_right(a, pivots)
+
+
+def _trsm_lower_unit(l, b):
+    """b ← L⁻¹ b for unit lower-triangular L (in place)."""
+    n = l.shape[0]
+    i = 1
+    while i < n:
+        b[i, :] -= l[i, :i] @ b[:i, :]
+        i += 1
+
+
+def _combine(a, done, jb, rfact):
+    """After factoring ``a[done:, done:done+jb]``: transform the columns to
+    its right and update the trailing block.  The three RFACT flavours
+    order the work differently but compute the same thing."""
+    w = a.shape[1]
+    if done + jb >= w:
+        return
+    lower = a[done:done + jb, done:done + jb]
+    right = a[done:done + jb, done + jb:]
+    tail_rows = a[done + jb:, done:done + jb]
+    if rfact == 0:
+        # left-flavoured: solve, then update column block by column block
+        _trsm_lower_unit(lower, right)
+        col = done + jb
+        while col < w:
+            hi = min(col + jb, w)
+            a[done + jb:, col:hi] -= tail_rows @ a[done:done + jb, col:hi]
+            col = hi
+    elif rfact == 1:
+        # Crout-flavoured: interleave solve and update per column block
+        col = done + jb
+        while col < w:
+            hi = min(col + jb, w)
+            _trsm_lower_unit(lower, a[done:done + jb, col:hi])
+            a[done + jb:, col:hi] -= tail_rows @ a[done:done + jb, col:hi]
+            col = hi
+    else:
+        # right-flavoured: one solve, one eager GEMM
+        _trsm_lower_unit(lower, right)
+        a[done + jb:, done + jb:] -= tail_rows @ right
+
+
+def _apply_subpivots(a, done, jb, sub_piv, pivots):
+    """Extend the sub-panel's row swaps to the full panel width."""
+    w = a.shape[1]
+    jj = 0
+    while jj < len(sub_piv):
+        k = sub_piv[jj]
+        if k != jj:
+            r1, r2 = done + jj, done + k
+            a[[r1, r2], :done] = a[[r2, r1], :done]
+            if done + jb < w:
+                a[[r1, r2], done + jb:] = a[[r2, r1], done + jb:]
+        pivots.append(done + k)
+        jj += 1
+
+
+def _recurse(a, pfact, rfact, nbmin, ndiv, pivots):
+    w = a.shape[1]
+    if w <= nbmin or w <= 1:
+        _base_factor(a, pfact, pivots)
+        return
+    part = max(1, w // ndiv)
+    done = 0
+    while done < w:
+        jb = min(part, w - done)
+        sub = a[done:, done:done + jb]
+        sub_piv = []
+        _recurse(sub, pfact, rfact, nbmin, ndiv, sub_piv)
+        _apply_subpivots(a, done, jb, sub_piv, pivots)
+        _combine(a, done, jb, rfact)
+        done += jb
+
+
+def factor_panel(a, pfact, rfact, nbmin, ndiv):
+    """Recursively factor the gathered panel ``a`` in place.
+
+    Returns the pivot list: ``pivots[j]`` is the panel-local row swapped
+    into position ``j`` at elimination step ``j``.
+    """
+    pivots = []
+    _recurse(a, int(pfact), int(rfact), max(1, int(nbmin)), max(2, int(ndiv)),
+             pivots)
+    return pivots
+
+
+def reconstruct(a_factored, pivots, original):
+    """Testing helper: verify PA = LU.
+
+    Applies ``pivots`` to ``original`` and compares with L@U from the
+    factored panel.  Returns the max abs error.
+    """
+    m, w = a_factored.shape
+    perm = original.copy()
+    for j, k in enumerate(pivots):
+        if k != j:
+            perm[[j, k], :] = perm[[k, j], :]
+    l = np.tril(a_factored[:, :w], -1)[:m, :]
+    np.fill_diagonal(l[:w, :], 0.0)
+    l_full = np.eye(m, w) + l
+    u = np.triu(a_factored[:w, :w])
+    return float(np.max(np.abs(l_full @ u - perm[:, :w])))

@@ -1,0 +1,60 @@
+"""HPL input parameters: reading + marking (the HPL.dat analog).
+
+24 integer inputs are marked symbolic, mirroring the paper's "we marked
+24 variables in HPL".  The pivotal one — the matrix width ``n`` — is
+marked with an input cap (``COMPI_int_with_limit``); the cap value lives
+in the module-level ``CAPS`` table so experiments (Fig. 6/8) can re-run
+the same target under different caps by mutating the loaded module.
+"""
+
+from repro.concolic.marking import compi_int, compi_int_with_limit
+
+#: caps applied at marking time (Fig. 8 varies CAPS["n"])
+CAPS = {
+    "n": 300,
+}
+
+
+class HplParams:
+    """Plain container; values may be concolic SymInts on the focus rank."""
+
+    __slots__ = (
+        "ntests", "n", "nb", "pmap", "p", "q", "threshold", "npfacts",
+        "pfact", "nbmin", "ndiv", "nrfacts", "rfact", "bcast", "depth",
+        "swap", "swap_threshold", "l1form", "uform", "equil", "align",
+        "seed", "verify", "frac",
+    )
+
+    def __init__(self, **kw):
+        for k in self.__slots__:
+            setattr(self, k, kw[k])
+
+
+def read_params(args):
+    """Mark every input-taking variable (the developer's one-time effort)."""
+    return HplParams(
+        ntests=compi_int(args["ntests"], "ntests"),
+        n=compi_int_with_limit(args["n"], "n", cap=CAPS["n"]),
+        nb=compi_int(args["nb"], "nb"),
+        pmap=compi_int(args["pmap"], "pmap"),
+        p=compi_int(args["p"], "p"),
+        q=compi_int(args["q"], "q"),
+        threshold=compi_int(args["threshold"], "threshold"),
+        npfacts=compi_int(args["npfacts"], "npfacts"),
+        pfact=compi_int(args["pfact"], "pfact"),
+        nbmin=compi_int(args["nbmin"], "nbmin"),
+        ndiv=compi_int(args["ndiv"], "ndiv"),
+        nrfacts=compi_int(args["nrfacts"], "nrfacts"),
+        rfact=compi_int(args["rfact"], "rfact"),
+        bcast=compi_int(args["bcast"], "bcast"),
+        depth=compi_int(args["depth"], "depth"),
+        swap=compi_int(args["swap"], "swap"),
+        swap_threshold=compi_int(args["swap_threshold"], "swap_threshold"),
+        l1form=compi_int(args["l1form"], "l1form"),
+        uform=compi_int(args["uform"], "uform"),
+        equil=compi_int(args["equil"], "equil"),
+        align=compi_int(args["align"], "align"),
+        seed=compi_int(args["seed"], "seed"),
+        verify=compi_int(args["verify"], "verify"),
+        frac=compi_int(args["frac"], "frac"),
+    )

@@ -1,0 +1,119 @@
+"""HPL's staged sanity check: every parameter and key combinations.
+
+Real HPL's ``HPL_pdinfo`` validates each HPL.dat field in sequence and
+bails out on the first bad one.  This ladder shape is the paper's central
+search-strategy argument (§II-B): only a systematic strategy that keeps
+already-passed checks satisfied while flipping the *deepest* failing one
+climbs all the way down; random/CFG strategies keep breaking early rungs.
+
+Each check is its own conditional so every rung contributes two branches.
+Returns 0 when the configuration is valid, otherwise a distinct positive
+error code (HPL prints a message and exits; we return the code).
+"""
+
+
+def check_params(params, size):
+    """Validate params against the world ``size`` (a marked sw variable)."""
+    # --- test battery ----------------------------------------------------
+    if params.ntests < 1:
+        return 1
+    if params.ntests > 8:
+        return 2
+    # --- problem size ----------------------------------------------------
+    if params.n < 0:
+        return 3
+    if params.n > 100000:
+        return 4
+    # --- blocking factor ---------------------------------------------------
+    if params.nb < 1:
+        return 5
+    if params.nb > 512:
+        return 6
+    # --- process mapping / grid -------------------------------------------
+    if params.pmap < 0:
+        return 7
+    if params.pmap > 1:
+        return 8
+    if params.p < 1:
+        return 9
+    if params.q < 1:
+        return 10
+    if params.p * params.q > size:
+        return 11
+    # --- residual threshold -----------------------------------------------
+    if params.threshold < 0:
+        return 12
+    # --- panel factorization ------------------------------------------------
+    if params.npfacts < 1:
+        return 13
+    if params.npfacts > 3:
+        return 14
+    if params.pfact < 0:
+        return 15
+    if params.pfact > 2:
+        return 16
+    if params.nbmin < 1:
+        return 17
+    if params.ndiv < 2:
+        return 18
+    if params.ndiv > 8:
+        return 19
+    if params.nrfacts < 1:
+        return 20
+    if params.nrfacts > 3:
+        return 21
+    if params.rfact < 0:
+        return 22
+    if params.rfact > 2:
+        return 23
+    # --- broadcast / lookahead ---------------------------------------------
+    if params.bcast < 0:
+        return 24
+    if params.bcast > 5:
+        return 25
+    if params.depth < 0:
+        return 26
+    if params.depth > 1:
+        return 27
+    # --- swapping ---------------------------------------------------------
+    if params.swap < 0:
+        return 28
+    if params.swap > 2:
+        return 29
+    if params.swap_threshold < 0:
+        return 30
+    # --- storage forms -----------------------------------------------------
+    if params.l1form < 0:
+        return 31
+    if params.l1form > 1:
+        return 32
+    if params.uform < 0:
+        return 33
+    if params.uform > 1:
+        return 34
+    if params.equil < 0:
+        return 35
+    if params.equil > 1:
+        return 36
+    # --- memory alignment ---------------------------------------------------
+    if params.align < 1:
+        return 37
+    if params.align > 1024:
+        return 38
+    # --- misc ---------------------------------------------------------------
+    if params.verify < 0:
+        return 39
+    if params.verify > 1:
+        return 40
+    if params.frac < 0:
+        return 41
+    if params.frac > 100:
+        return 42
+    # --- combinations ---------------------------------------------------------
+    if params.nb > params.n + 1:
+        return 43
+    if params.nbmin > params.nb:
+        return 44
+    if params.swap_threshold > params.n + 1:
+        return 45
+    return 0

@@ -1,0 +1,135 @@
+"""Distributed row swapping (HPL's SWAP parameter).
+
+After a panel is factored, its pivot row swaps must be applied to every
+trailing column on every rank.  HPL offers binary-exchange and
+spread-roll algorithms selected by SWAP (with a threshold for the mixed
+mode).  We implement two genuinely different protocols with identical
+outcomes:
+
+* **eager** (SWAP=0): apply pivots one at a time; each swap is a local
+  copy or a pairwise ``Sendrecv`` between the two owning grid rows.
+* **batched** (SWAP=1): compute the panel's net row permutation first,
+  then move every affected row directly to its final place with one
+  send/recv per (row, peer) — fewer, larger messages.
+* SWAP=2 picks eager for narrow panels (``width <= swap_threshold``)
+  and batched otherwise, like HPL's mixed mode.
+
+``row_slice(rank_blocks, r)`` abstracts "the trailing part of global row
+r on this rank" so the same protocol serves any column range.
+"""
+
+import numpy as np
+
+TAG_SWAP = 11
+
+
+def apply_swaps(col_comm, myrow, nprow, nb, k, pivots, get_row, set_row,
+                variant, swap_threshold, width):
+    """Apply the panel's pivots to this rank's trailing columns.
+
+    ``get_row(r)``/``set_row(r, data)`` access the local slice of global
+    row ``r`` (or return None when this rank owns no trailing columns in
+    that row — then the rank still participates in no exchanges).
+    ``col_comm`` local ranks coincide with grid rows (split key=myrow).
+    """
+    variant = int(variant)
+    if variant == 0:
+        eager = True
+    elif variant == 1:
+        eager = False
+    else:
+        eager = width <= int(swap_threshold)
+    if eager:
+        _eager_swaps(col_comm, myrow, nprow, nb, k, pivots, get_row, set_row)
+    else:
+        _batched_swaps(col_comm, myrow, nprow, nb, k, pivots, get_row, set_row)
+
+
+def _owner(r, nb, nprow):
+    return (r // nb) % nprow
+
+
+def _eager_swaps(col_comm, myrow, nprow, nb, k, pivots, get_row, set_row):
+    base = k * nb
+    j = 0
+    while j < len(pivots):
+        r1 = base + j
+        r2 = base + pivots[j]
+        j += 1
+        if r1 == r2:
+            continue
+        o1 = _owner(r1, nb, nprow)
+        o2 = _owner(r2, nb, nprow)
+        if o1 == myrow and o2 == myrow:
+            a = get_row(r1)
+            b = get_row(r2)
+            if a is not None:
+                set_row(r1, b)
+                set_row(r2, a)
+        elif o1 == myrow:
+            mine = get_row(r1)
+            if mine is not None:
+                theirs, _ = col_comm.Sendrecv(mine, dest=o2, sendtag=TAG_SWAP,
+                                              source=o2, recvtag=TAG_SWAP)
+                set_row(r1, theirs)
+        elif o2 == myrow:
+            mine = get_row(r2)
+            if mine is not None:
+                theirs, _ = col_comm.Sendrecv(mine, dest=o1, sendtag=TAG_SWAP,
+                                              source=o1, recvtag=TAG_SWAP)
+                set_row(r2, theirs)
+
+
+def net_permutation(nb, k, pivots):
+    """Final row sources: ``{dest_row: src_row}`` over affected rows only.
+
+    Applying pivot ``j`` swaps current rows ``base+j`` and
+    ``base+pivots[j]``; composing all swaps yields where each affected
+    row's final content originates.
+    """
+    base = k * nb
+    perm: dict[int, int] = {}
+
+    def cur(r):
+        return perm.get(r, r)
+
+    j = 0
+    while j < len(pivots):
+        r1 = base + j
+        r2 = base + pivots[j]
+        if r1 != r2:
+            perm[r1], perm[r2] = cur(r2), cur(r1)
+        j += 1
+    return {dst: src for dst, src in perm.items() if dst != src}
+
+
+def _batched_swaps(col_comm, myrow, nprow, nb, k, pivots, get_row, set_row):
+    moves = net_permutation(nb, k, pivots)
+    if not moves:
+        return
+    # snapshot every local source row before anything is overwritten
+    snapshots = {}
+    for dst, src in moves.items():
+        if _owner(src, nb, nprow) == myrow:
+            row = get_row(src)
+            if row is not None:
+                snapshots[src] = np.array(row, copy=True)
+    # sends never block (eager protocol), so send everything first
+    for dst in sorted(moves):
+        src = moves[dst]
+        if _owner(src, nb, nprow) == myrow and _owner(dst, nb, nprow) != myrow:
+            if src in snapshots:
+                col_comm.Send(snapshots[src], dest=_owner(dst, nb, nprow),
+                              tag=TAG_SWAP)
+    # now place every destination row I own
+    for dst in sorted(moves):
+        src = moves[dst]
+        if _owner(dst, nb, nprow) != myrow:
+            continue
+        if get_row(dst) is None:
+            continue
+        if _owner(src, nb, nprow) == myrow:
+            set_row(dst, snapshots[src])
+        else:
+            data, _ = col_comm.Recv(source=_owner(src, nb, nprow), tag=TAG_SWAP)
+            set_row(dst, data)

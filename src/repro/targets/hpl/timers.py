@@ -1,0 +1,44 @@
+"""Per-phase wall-time accounting (the ``HPL_timer`` analog).
+
+Real HPL reports a breakdown of where factorization time goes (panel
+factorization, broadcast, row swapping, trailing update, solve).  The
+:class:`PhaseTimers` accumulates per-phase wall time on each rank; the
+end-of-run report reduces with MAX across the grid — the critical-path
+convention HPL uses.
+"""
+
+import time
+from contextlib import contextmanager
+
+from repro.mpi.datatypes import MAX
+
+PHASES = ("gather", "pfact", "bcast", "swap", "update", "solve")
+
+
+class PhaseTimers:
+    """Accumulating wall-clock timers, one per factorization phase."""
+
+    def __init__(self):
+        self.totals = {p: 0.0 for p in PHASES}
+        self.counts = {p: 0 for p in PHASES}
+
+    @contextmanager
+    def phase(self, name):
+        if name not in self.totals:
+            raise KeyError(f"unknown phase {name!r}; know {PHASES}")
+        t0 = time.monotonic()
+        try:
+            yield
+        finally:
+            self.totals[name] += time.monotonic() - t0
+            self.counts[name] += 1
+
+    def report(self, comm):
+        """Critical-path (MAX-reduced) per-phase totals — collective."""
+        out = {}
+        for p in PHASES:
+            out[p] = comm.Allreduce(self.totals[p], MAX)
+        return out
+
+    def local_summary(self):
+        return {p: (self.totals[p], self.counts[p]) for p in PHASES}

@@ -1,0 +1,17 @@
+"""IMB-MPI1-like benchmark target (paper target #3).
+
+The MPI-1 half of the Intel MPI Benchmarks: a driver that parses
+benchmark selections and control parameters, then times point-to-point
+and collective patterns over doubling message sizes and doubling active-
+process subsets.  The key input for the paper is the iteration count
+(``iters``), capped at NC=100 by default (Fig. 8 varies 50-1600).
+"""
+
+MODULES = [
+    "repro.targets.imb.params",
+    "repro.targets.imb.sanity",
+    "repro.targets.imb.benchmarks",
+    "repro.targets.imb.main",
+]
+
+ENTRY = "repro.targets.imb.main"

@@ -1,0 +1,180 @@
+"""The ten MPI-1 benchmark kernels.
+
+Each kernel times ``iters`` repetitions of its pattern for one message
+size on one active communicator, IMB-style: a warmup loop first, then the
+timed loop between two ``Wtime`` reads, reporting µs/op.  PingPong and
+PingPing are strictly 2-process; the others run on any active subset.
+"""
+
+import numpy as np
+
+TAG = 41
+
+
+def make_buffer(nbytes):
+    """A float64 message buffer of ~nbytes."""
+    return np.zeros(max(1, int(nbytes) // 8), dtype=np.float64)
+
+
+class BufferPool:
+    """IMB's ``-off_cache`` mode: rotate between distinct buffers so every
+    iteration touches cold memory; without it one hot buffer is reused."""
+
+    def __init__(self, nbytes, off_cache):
+        count = 2 if int(off_cache) == 1 else 1
+        self._bufs = [make_buffer(nbytes) for _ in range(count)]
+        self._i = 0
+
+    def next(self):
+        buf = self._bufs[self._i % len(self._bufs)]
+        self._i += 1
+        return buf
+
+
+def time_loop(mpi, fn, iters, warmup):
+    """Warmup then time ``iters`` calls of fn; returns µs per op."""
+    w = 0
+    while w < warmup:
+        fn()
+        w += 1
+    t0 = mpi.Wtime()
+    i = 0
+    while i < iters:
+        fn()
+        i += 1
+    t1 = mpi.Wtime()
+    return (t1 - t0) / max(1, int(iters)) * 1e6    # µs per op
+
+
+def pingpong(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """2-process round trip: rank 0 sends, rank 1 echoes."""
+    me = comm.Get_rank()
+    pool = BufferPool(nbytes, off_cache)
+    if me == 0:
+        def fn():
+            comm.Send(pool.next(), dest=1, tag=TAG)
+            comm.Recv(source=1, tag=TAG)
+    elif me == 1:
+        def fn():
+            comm.Recv(source=0, tag=TAG)
+            comm.Send(pool.next(), dest=0, tag=TAG)
+    else:
+        return None
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def pingping(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """2-process simultaneous exchange (both Sendrecv)."""
+    me = comm.Get_rank()
+    if me > 1:
+        return None
+    peer = 1 - me
+    pool = BufferPool(nbytes, off_cache)
+
+    def fn():
+        comm.Sendrecv(pool.next(), dest=peer, sendtag=TAG, source=peer, recvtag=TAG)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def sendrecv_chain(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Periodic chain: everyone Sendrecvs with both neighbours."""
+    me = comm.Get_rank()
+    n = comm.Get_size()
+    pool = BufferPool(nbytes, off_cache)
+
+    def fn():
+        comm.Sendrecv(pool.next(), dest=(me + 1) % n, sendtag=TAG,
+                      source=(me - 1) % n, recvtag=TAG)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def exchange(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """IMB Exchange: Isend to both neighbours, then two Recvs."""
+    me = comm.Get_rank()
+    n = comm.Get_size()
+    pool = BufferPool(nbytes, off_cache)
+    left, right = (me - 1) % n, (me + 1) % n
+
+    def fn():
+        comm.Isend(pool.next(), dest=left, tag=TAG)
+        comm.Isend(pool.next(), dest=right, tag=TAG)
+        comm.Recv(source=left, tag=TAG)
+        comm.Recv(source=right, tag=TAG)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def bcast_bench(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Broadcast from local root 0."""
+    pool = BufferPool(nbytes, off_cache)
+
+    def fn():
+        comm.Bcast(pool.next(), root=0)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def allreduce_bench(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Allreduce(SUM) over the active group."""
+    pool = BufferPool(nbytes, off_cache)
+
+    def fn():
+        comm.Allreduce(pool.next(), mpi.SUM)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def reduce_bench(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Reduce(SUM) to local root 0."""
+    pool = BufferPool(nbytes, off_cache)
+
+    def fn():
+        comm.Reduce(pool.next(), mpi.SUM, root=0)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def allgather_bench(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Allgather with per-rank chunks summing to ~nbytes."""
+    pool = BufferPool(max(1, nbytes // max(1, comm.Get_size())), off_cache)
+
+    def fn():
+        comm.Allgather(pool.next())
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def alltoall_bench(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Alltoall with per-destination chunks summing to ~nbytes."""
+    n = comm.Get_size()
+    pool = BufferPool(max(1, nbytes // max(1, n)), off_cache)
+
+    def fn():
+        comm.Alltoall([pool.next()] * n)
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+def barrier_bench(mpi, comm, nbytes, iters, warmup, off_cache=0):
+    """Pure Barrier (no message payload)."""
+    def fn():
+        comm.Barrier()
+
+    return time_loop(mpi, fn, iters, warmup)
+
+
+#: (name, kernel, two_process_only, uses_message_sizes)
+ALL_BENCHMARKS = [
+    ("PingPong", pingpong, True, True),
+    ("PingPing", pingping, True, True),
+    ("Sendrecv", sendrecv_chain, False, True),
+    ("Exchange", exchange, False, True),
+    ("Bcast", bcast_bench, False, True),
+    ("Allreduce", allreduce_bench, False, True),
+    ("Reduce", reduce_bench, False, True),
+    ("Allgather", allgather_bench, False, True),
+    ("Alltoall", alltoall_bench, False, True),
+    ("Barrier", barrier_bench, False, False),
+]

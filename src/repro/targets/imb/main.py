@@ -1,0 +1,131 @@
+"""IMB-MPI1 driver: parse → sanity → per-benchmark subset/size sweeps.
+
+For every selected benchmark the driver iterates active-process subsets
+(``npmin`` doubling up to the world size, IMB's convention) and message
+sizes (doubling up to ``2^msg_exp`` bytes), timing ``iters`` repetitions
+of the kernel on a split communicator.  The subsets are where a testing
+tool needs focus/process-count variation: ranks outside the active subset
+never execute the kernel branches.
+"""
+
+from .benchmarks import ALL_BENCHMARKS
+from .params import read_params
+from .sanity import check_params
+
+#: per-(benchmark, subset) budget for the message-size sweep, seconds
+#: (the IMB ``-time`` flag; fixed here, not an input)
+SWEEP_TIME_LIMIT = 5.0
+
+INPUT_SPEC = {
+    "iters": {"default": 4, "lo": -8, "hi": 1600},
+    "msg_exp": {"default": 6, "lo": -4, "hi": 26},
+    "npmin": {"default": 2, "lo": -4, "hi": 20},
+    "warmup": {"default": 1, "lo": -4, "hi": 120},
+    "off_cache": {"default": 0, "lo": -2, "hi": 3},
+    "run_pingpong": {"default": 1, "lo": -2, "hi": 3},
+    "run_pingping": {"default": 0, "lo": -2, "hi": 3},
+    "run_sendrecv": {"default": 0, "lo": -2, "hi": 3},
+    "run_exchange": {"default": 0, "lo": -2, "hi": 3},
+    "run_bcast": {"default": 1, "lo": -2, "hi": 3},
+    "run_allreduce": {"default": 1, "lo": -2, "hi": 3},
+    "run_reduce": {"default": 0, "lo": -2, "hi": 3},
+    "run_allgather": {"default": 0, "lo": -2, "hi": 3},
+    "run_alltoall": {"default": 0, "lo": -2, "hi": 3},
+    "run_barrier": {"default": 0, "lo": -2, "hi": 3},
+}
+
+
+def _selected(p):
+    return [
+        (p.run_pingpong, 0), (p.run_pingping, 1), (p.run_sendrecv, 2),
+        (p.run_exchange, 3), (p.run_bcast, 4), (p.run_allreduce, 5),
+        (p.run_reduce, 6), (p.run_allgather, 7), (p.run_alltoall, 8),
+        (p.run_barrier, 9),
+    ]
+
+
+def main(mpi, args):
+    """IMB-MPI1 entry point: parse, validate, sweep benchmarks."""
+    mpi.Init()
+    rank = mpi.Comm_rank(mpi.COMM_WORLD)
+    size = mpi.Comm_size(mpi.COMM_WORLD)
+
+    p = read_params(args)
+    err = check_params(p, size)
+    if err != 0:
+        mpi.Finalize()
+        return 0
+
+    results = []
+    for flag, index in _selected(p):
+        if flag == 1:
+            name, kernel, two_proc, uses_sizes = ALL_BENCHMARKS[index]
+            _run_benchmark(mpi, rank, size, p, name, kernel, two_proc,
+                           uses_sizes, results)
+
+    if rank == 0 and results:
+        _ = len(results)                 # IMB would print the table here
+    mpi.COMM_WORLD.Barrier()
+    mpi.Finalize()
+    return 0
+
+
+def _run_benchmark(mpi, rank, size, p, name, kernel, two_proc, uses_sizes,
+                   results):
+    """Sweep active subsets × message sizes for one kernel."""
+    subsets = _active_subsets(int(p.npmin), int(size), two_proc)
+    for np_active in subsets:
+        active = rank < np_active        # symbolic: focus must vary
+        if active:
+            comm = mpi.COMM_WORLD.Split(color=0, key=int(rank))
+            _ = mpi.Comm_rank(comm)      # rc marking site
+        else:
+            comm = mpi.COMM_WORLD.Split(color=-1)
+        if active:
+            if uses_sizes:
+                nbytes = 4
+                limit = 2 ** int(p.msg_exp)
+                sweep_start = mpi.Wtime()
+                while nbytes <= limit:
+                    us = kernel(mpi, comm, nbytes, p.iters, p.warmup,
+                                p.off_cache)
+                    if us is not None:
+                        stats = _time_stats(mpi, comm, us)
+                        results.append((name, np_active, nbytes, us, stats))
+                    # IMB's -time cutoff: abandon larger sizes once the
+                    # sweep exceeds its budget.  The decision must be
+                    # COLLECTIVE (root decides, everyone follows) or the
+                    # subset's ranks would diverge mid-sweep and deadlock.
+                    over = (mpi.Wtime() - sweep_start > SWEEP_TIME_LIMIT
+                            if comm.Get_rank() == 0 else None)
+                    if comm.Bcast(over, root=0):
+                        break
+                    nbytes *= 4
+            else:
+                us = kernel(mpi, comm, 0, p.iters, p.warmup, p.off_cache)
+                if us is not None:
+                    stats = _time_stats(mpi, comm, us)
+                    results.append((name, np_active, 0, us, stats))
+        mpi.COMM_WORLD.Barrier()
+
+
+def _time_stats(mpi, comm, us):
+    """IMB's reported t_min/t_avg/t_max across the active group —
+    collective over the subset communicator."""
+    tmin = comm.Allreduce(us, mpi.MIN)
+    tmax = comm.Allreduce(us, mpi.MAX)
+    tavg = comm.Allreduce(us, mpi.SUM) / int(comm.Get_size())
+    return (tmin, tavg, tmax)
+
+
+def _active_subsets(npmin, size, two_proc):
+    if two_proc:
+        return [2] if size >= 2 else []
+    subsets = []
+    np_active = max(2, npmin)
+    while np_active < size:
+        subsets.append(np_active)
+        np_active *= 2
+    if size >= max(2, npmin):
+        subsets.append(size)
+    return subsets

@@ -1,0 +1,41 @@
+"""IMB-MPI1 inputs: 15 marked integer variables (selectors + controls)."""
+
+from repro.concolic.marking import compi_int, compi_int_with_limit
+
+#: iteration-count cap (the paper's NC for IMB-MPI1, default 100)
+CAPS = {
+    "iters": 100,
+}
+
+
+class ImbParams:
+    """Container for the 15 marked IMB inputs."""
+    __slots__ = ("iters", "msg_exp", "npmin", "warmup", "off_cache",
+                 "run_pingpong", "run_pingping", "run_sendrecv",
+                 "run_exchange", "run_bcast", "run_allreduce", "run_reduce",
+                 "run_allgather", "run_alltoall", "run_barrier")
+
+    def __init__(self, **kw):
+        for k in self.__slots__:
+            setattr(self, k, kw[k])
+
+
+def read_params(args):
+    """Mark all 15 IMB input variables."""
+    return ImbParams(
+        iters=compi_int_with_limit(args["iters"], "iters", cap=CAPS["iters"]),
+        msg_exp=compi_int(args["msg_exp"], "msg_exp"),
+        npmin=compi_int(args["npmin"], "npmin"),
+        warmup=compi_int(args["warmup"], "warmup"),
+        off_cache=compi_int(args["off_cache"], "off_cache"),
+        run_pingpong=compi_int(args["run_pingpong"], "run_pingpong"),
+        run_pingping=compi_int(args["run_pingping"], "run_pingping"),
+        run_sendrecv=compi_int(args["run_sendrecv"], "run_sendrecv"),
+        run_exchange=compi_int(args["run_exchange"], "run_exchange"),
+        run_bcast=compi_int(args["run_bcast"], "run_bcast"),
+        run_allreduce=compi_int(args["run_allreduce"], "run_allreduce"),
+        run_reduce=compi_int(args["run_reduce"], "run_reduce"),
+        run_allgather=compi_int(args["run_allgather"], "run_allgather"),
+        run_alltoall=compi_int(args["run_alltoall"], "run_alltoall"),
+        run_barrier=compi_int(args["run_barrier"], "run_barrier"),
+    )

@@ -1,0 +1,50 @@
+"""IMB argument validation (the command-line parser's checks)."""
+
+
+def check_params(p, size):
+    """Validate the inputs; 0 = OK, else a distinct error code."""
+    if p.iters < 1:
+        return 1
+    if p.iters > 10000:
+        return 2
+    if p.msg_exp < 0:
+        return 3
+    if p.msg_exp > 22:
+        return 4
+    if p.npmin < 2:
+        return 5
+    if p.npmin > size:
+        return 6
+    if p.warmup < 0:
+        return 7
+    if p.warmup > 100:
+        return 8
+    if p.off_cache < 0:
+        return 9
+    if p.off_cache > 1:
+        return 10
+    if p.run_pingpong < 0 or _not_flag(p.run_pingpong):
+        return 11
+    if p.run_pingping < 0 or _not_flag(p.run_pingping):
+        return 12
+    if p.run_sendrecv < 0 or _not_flag(p.run_sendrecv):
+        return 13
+    if p.run_exchange < 0 or _not_flag(p.run_exchange):
+        return 14
+    if p.run_bcast < 0 or _not_flag(p.run_bcast):
+        return 15
+    if p.run_allreduce < 0 or _not_flag(p.run_allreduce):
+        return 16
+    if p.run_reduce < 0 or _not_flag(p.run_reduce):
+        return 17
+    if p.run_allgather < 0 or _not_flag(p.run_allgather):
+        return 18
+    if p.run_alltoall < 0 or _not_flag(p.run_alltoall):
+        return 19
+    if p.run_barrier < 0 or _not_flag(p.run_barrier):
+        return 20
+    return 0
+
+
+def _not_flag(v):
+    return v > 1

@@ -1,0 +1,30 @@
+"""The paper's Figure 1 sequential example program.
+
+Two conditionals; a bug hides on the false arm of the first.  Concolic
+testing starting from random inputs covers ``0T`` and (typically) ``1F``,
+negates ``x != 100`` to reach the bug at ``0F``, and eventually drives
+``1T`` — 100% branch coverage.
+"""
+
+from repro.concolic.marking import compi_int
+
+INPUT_SPEC = {
+    "x": {"default": 10, "lo": -1000, "hi": 1000},
+    "y": {"default": 50, "lo": -1000, "hi": 1000},
+}
+
+
+def main(mpi, args):
+    """Sequential program: ``mpi`` is unused (run on a single rank), but
+    the entry signature matches the harness convention."""
+    x = compi_int(args["x"], "x")
+    y = compi_int(args["y"], "y")
+    if x != 100:                 # condition 0
+        result = 0               # 0T
+    else:
+        raise AssertionError("bug: reached branch 0F")   # 0F — the bug
+    if x * 3 + y > 200:          # condition 1
+        result += 2              # 1T
+    else:
+        result += 1              # 1F
+    return result

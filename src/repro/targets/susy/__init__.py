@@ -1,0 +1,33 @@
+"""SUSY-HMC-like lattice field theory target (paper target #1).
+
+A skeleton reimplementation of the RHMC component of SUSY LATTICE
+(Schaich & DeGrand): 4D lattice with full domain decomposition, input
+sanity checks, warmup + trajectory phases (leapfrog molecular dynamics,
+multi-shift iterative solves, Metropolis accept/reject, measurements),
+and — crucially for the paper's §VI-A — the **four real bugs** COMPI
+found, reproduced mechanism-for-mechanism:
+
+* three wrong-``malloc``-size allocations (``sizeof(**src)`` instead of
+  ``sizeof(Twist_Fermion*)``) on three distinct input-gated paths →
+  segmentation faults;
+* one division-by-zero that manifests only with 2 or 4 processes (not
+  1 or 3) and only under a specific input (``gauge_fix=1``).
+
+Set ``repro.targets.susy.fields.BUGS_ENABLED = False`` (on the
+*instrumented* module) to test the post-fix program, as the paper's
+coverage experiments effectively do ("developers should fix such known
+bugs and then continue testing").
+"""
+
+MODULES = [
+    "repro.targets.susy.params",
+    "repro.targets.susy.sanity",
+    "repro.targets.susy.layout",
+    "repro.targets.susy.fields",
+    "repro.targets.susy.rhmc",
+    "repro.targets.susy.observables",
+    "repro.targets.susy.checkpoint",
+    "repro.targets.susy.main",
+]
+
+ENTRY = "repro.targets.susy.main"

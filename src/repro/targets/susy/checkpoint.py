@@ -1,0 +1,94 @@
+"""Lattice checkpointing (the ``save_lattice``/``reload_lattice`` analog).
+
+Lattice campaigns checkpoint the gauge field regularly and verify on
+reload.  The reproduction saves each rank's sublattice plus a geometry
+header, reloads, and validates — the same branch structure (missing file,
+format version, geometry mismatch, checksum) real lattice I/O code has.
+
+To keep concolic campaigns deterministic across iterations, checkpoints
+go to a per-run temporary directory and are removed afterwards; a save →
+load → verify round trip still exercises the full path.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+
+import numpy as np
+
+FORMAT_VERSION = 2
+
+
+class CheckpointError(Exception):
+    """Malformed or mismatched checkpoint."""
+
+
+def save(layout, phi, directory, traj):
+    """Write this rank's sublattice + (rank 0) a geometry header."""
+    os.makedirs(directory, exist_ok=True)
+    if layout.rank == 0:
+        header = {
+            "version": FORMAT_VERSION,
+            "grid": list(layout.grid),
+            "local_dims": list(layout.local_dims),
+            "traj": int(traj),
+        }
+        with open(os.path.join(directory, "header.json"), "w") as fh:
+            json.dump(header, fh)
+    np.save(_rank_file(directory, layout.rank), phi)
+    return directory
+
+
+def load(layout, directory):
+    """Reload and validate this rank's sublattice."""
+    header_path = os.path.join(directory, "header.json")
+    if not os.path.exists(header_path):
+        raise CheckpointError(f"no checkpoint header in {directory}")
+    with open(header_path) as fh:
+        header = json.load(fh)
+    if header.get("version") != FORMAT_VERSION:
+        raise CheckpointError(
+            f"format version {header.get('version')} != {FORMAT_VERSION}")
+    if list(layout.grid) != header["grid"]:
+        raise CheckpointError(
+            f"machine grid {layout.grid} != saved {header['grid']}")
+    if list(layout.local_dims) != header["local_dims"]:
+        raise CheckpointError("sublattice geometry mismatch")
+    path = _rank_file(directory, layout.rank)
+    if not os.path.exists(path):
+        raise CheckpointError(f"missing sublattice file for rank {layout.rank}")
+    phi = np.load(path)
+    if phi.shape != tuple(layout.local_dims):
+        raise CheckpointError(
+            f"sublattice shape {phi.shape} != {tuple(layout.local_dims)}")
+    return phi, header["traj"]
+
+
+def roundtrip_verify(world, layout, phi, traj):
+    """Save → barrier → load → verify; used inside the measurement phase.
+
+    Returns True when the reloaded field is bit-identical.  The temporary
+    directory is removed on every path.
+    """
+    # one shared directory: rank 0 creates it and broadcasts the path
+    directory = world.Bcast(
+        tempfile.mkdtemp(prefix="susy-ckpt-") if layout.rank == 0 else None,
+        root=0)
+    try:
+        save(layout, phi, directory, traj)
+        world.Barrier()                   # writers before readers
+        reloaded, saved_traj = load(layout, directory)
+        if saved_traj != traj:
+            return False
+        if not np.array_equal(reloaded, phi):
+            return False
+        return True
+    finally:
+        world.Barrier()                   # readers before cleanup
+        if layout.rank == 0:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def _rank_file(directory, rank):
+    return os.path.join(directory, f"lat_rank{int(rank)}.npy")

@@ -1,0 +1,86 @@
+"""Field allocation — home of the paper's three segmentation faults.
+
+The real bugs (SUSY issue #15, confirmed and fixed by the developers)
+all share one line shape::
+
+    Twist_Fermion **src = malloc(Nroot * sizeof(**src));
+
+an array of *pointers* sized by the wrong ``sizeof``.  In this
+reproduction ``sizeof(**src)`` is the 4-byte packed struct header while a
+pointer needs 8 bytes (see ``repro.targets.cmem``), so storing the
+``Nroot`` pointers overruns the allocation — a segfault — the moment the
+affected phase runs.  The fix, as adopted upstream, is
+``sizeof(Twist_Fermion*)``.
+
+The three buggy sites sit on three distinct input-gated paths (warmup,
+multi-shift solve, measurement), so each needs different inputs to fire —
+which is what makes them a *testing* result rather than a crash on every
+run.  ``BUGS_ENABLED = False`` switches all three allocations to the
+fixed size for post-fix coverage experiments.
+"""
+
+import numpy as np
+
+from ..cmem import SIZEOF_PTR, malloc
+
+#: our packed Twist_Fermion struct header: 4 bytes (smaller than a pointer)
+SIZEOF_TWIST_FERMION = 4
+
+#: flip to False to run the developer-fixed program
+BUGS_ENABLED = True
+
+
+def _alloc_pointer_array(count):
+    """The buggy/fixed allocation selector for a pointer array."""
+    if BUGS_ENABLED:
+        return malloc(count * SIZEOF_TWIST_FERMION)   # BUG: wrong sizeof
+    return malloc(count * SIZEOF_PTR)                 # the adopted fix
+
+
+def new_field(layout, seed, salt):
+    """A scalar field on the local sublattice, deterministic per rank."""
+    shape = layout.local_dims
+    rng = np.random.default_rng((int(seed) * 977 + salt * 131
+                                 + layout.rank) % (2 ** 31))
+    return rng.normal(0.0, 1.0, size=shape)
+
+
+def alloc_warmup_sources(layout, nroot, seed):
+    """BUG SITE #1 — warmup-phase pseudofermion sources.
+
+    Reached whenever ``warms >= 1``.
+    """
+    src = _alloc_pointer_array(int(nroot))
+    n = 0
+    while n < int(nroot):
+        src.store(n, new_field(layout, seed, 100 + n), SIZEOF_PTR)
+        n += 1
+    return src
+
+
+def alloc_multishift_solutions(layout, nroot, seed):
+    """BUG SITE #2 — multi-shift solver solution vectors (``psim``).
+
+    Reached when a trajectory runs a rational approximation with more
+    than one root (``ntraj >= 1 and nroot >= 2``).
+    """
+    psim = _alloc_pointer_array(int(nroot))
+    n = 0
+    while n < int(nroot):
+        psim.store(n, np.zeros(layout.local_dims), SIZEOF_PTR)
+        n += 1
+    return psim
+
+
+def alloc_measurement_buffers(layout, nblocks, seed):
+    """BUG SITE #3 — blocked measurement accumulators.
+
+    Reached when a measurement actually happens
+    (``ntraj >= meas_freq`` on the single-root path).
+    """
+    buf = _alloc_pointer_array(int(nblocks))
+    n = 0
+    while n < int(nblocks):
+        buf.store(n, np.zeros(4), SIZEOF_PTR)
+        n += 1
+    return buf

@@ -1,0 +1,126 @@
+"""4D lattice domain decomposition (the ``layout.c`` analog).
+
+Factorizes the process count into a ``(px, py, pz, pt)`` machine grid
+(largest lattice dimension absorbs each prime factor), checks
+divisibility, and computes per-rank sublattice geometry.
+
+**Bug #4 lives here** (the paper's floating-point exception, SUSY issue
+#16): the gauge-fixing slice computation divides by the parity of the
+process count on the small-machine path.  With ``gauge_fix=1`` the job
+crashes with a division by zero on 2 or 4 processes but runs fine on
+1 or 3 — reproducing "its triggering requires not only specific input
+values but also a specific number of processes".
+"""
+
+
+class Layout:
+    """One rank's lattice geometry: grid, coords, local extents."""
+    __slots__ = ("grid", "coords", "local_dims", "volume", "local_volume",
+                 "rank", "gauge_sweeps")
+
+    def __init__(self, grid, coords, local_dims, rank):
+        self.grid = grid
+        self.coords = coords
+        self.local_dims = local_dims
+        self.rank = rank
+        self.volume = 1
+        self.local_volume = 1
+        d = 0
+        while d < 4:
+            self.volume *= grid[d] * local_dims[d]
+            self.local_volume *= local_dims[d]
+            d += 1
+
+    def neighbor(self, dim, direction):
+        """World rank of the ±1 neighbour along ``dim`` (periodic)."""
+        c = list(self.coords)
+        c[dim] = (c[dim] + direction) % self.grid[dim]
+        return coords_to_rank(c, self.grid)
+
+
+def _prime_factors(n):
+    out = []
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            out.append(d)
+            n //= d
+        d += 1
+    if n > 1:
+        out.append(n)
+    return sorted(out, reverse=True)
+
+
+def factor_grid(nprocs, dims):
+    """Greedy 4D machine-grid factorization: each prime factor goes to the
+    dimension with the largest remaining per-rank extent."""
+    grid = [1, 1, 1, 1]
+    for f in _prime_factors(int(nprocs)):
+        best, best_len = -1, -1
+        d = 0
+        while d < 4:
+            per_rank = dims[d] // grid[d]
+            if per_rank % f == 0 and per_rank > best_len:
+                best, best_len = d, per_rank
+            d += 1
+        if best < 0:
+            return None                  # indivisible layout
+        grid[best] *= f
+    return tuple(grid)
+
+
+def coords_to_rank(coords, grid):
+    """Row-major rank of 4D machine-grid coordinates."""
+    return ((coords[0] * grid[1] + coords[1]) * grid[2] + coords[2]) \
+        * grid[3] + coords[3]
+
+
+def rank_to_coords(rank, grid):
+    """Inverse of coords_to_rank."""
+    ct = rank % grid[3]
+    rank //= grid[3]
+    cz = rank % grid[2]
+    rank //= grid[2]
+    cy = rank % grid[1]
+    cx = rank // grid[1]
+    return (cx, cy, cz, ct)
+
+
+def setup_layout(rank, nprocs, p):
+    """Build this rank's :class:`Layout`, or None when indivisible.
+
+    The machine decomposes along the **time direction only** (the default
+    layout of many lattice codes, including our skeleton): the job needs
+    ``nt % nprocs == 0``.  With the dimension cap at NC=5 this is why a
+    *fixed* 8-process job can never produce a sound layout — the paper's
+    No_Fwk-on-SUSY failure (Table VI) — while COMPI's framework derives a
+    workable process count instead.
+
+    ``rank``/``nprocs`` may be symbolic (rw/sw); geometry math concretizes
+    them (divisions), while the comparisons below stay symbolic.
+    """
+    dims = (int(p.nx), int(p.ny), int(p.nz), int(p.nt))
+    if nprocs > p.nt:
+        return None                      # more time-slices than nt
+    if int(p.nt) % int(nprocs) != 0:
+        return None                      # indivisible time extent
+    grid = (1, 1, 1, int(nprocs))
+
+    sweeps = 0
+    if p.gauge_fix == 1:
+        # --- BUG #4 (division by zero; SUSY issue #16) -----------------
+        # Small machines take a "cheap parity sweep" path.  The sweep
+        # count divides by (nprocs - 2*(nprocs//2)) — the process-count
+        # parity — which is 0 for 2 and 4 processes.  1 and 3 processes
+        # divide by 1 and survive; larger machines take the other path.
+        if nprocs <= 4:
+            parity = int(nprocs) - 2 * (int(nprocs) // 2)
+            sweeps = dims[3] // parity    # ZeroDivisionError on np ∈ {2,4}
+        else:
+            sweeps = dims[3]
+
+    coords = rank_to_coords(int(rank), grid)
+    local_dims = tuple(dims[d] // grid[d] for d in range(4))
+    layout = Layout(grid, coords, local_dims, int(rank))
+    layout.gauge_sweeps = int(sweeps)
+    return layout

@@ -1,0 +1,99 @@
+"""SUSY-HMC entry point: setup → warmup → trajectories → measurements.
+
+Follows the SPMD shape of the original ``susy_hmc``: read and validate
+inputs, lay out the 4D lattice over the machine, then run warmup and
+measurement trajectories.  The four seeded bugs fire on their respective
+input-gated paths (see ``fields.py`` and ``layout.py``).
+"""
+
+from .checkpoint import roundtrip_verify
+from .fields import (alloc_measurement_buffers, alloc_multishift_solutions,
+                     alloc_warmup_sources, new_field)
+from .layout import setup_layout
+from .observables import measure_all
+from .params import read_params
+from .rhmc import (gauge_fix_sweeps, measure, multishift_solve,
+                   run_trajectory)
+from .sanity import check_params
+
+INPUT_SPEC = {
+    "nx": {"default": 2, "lo": -8, "hi": 8},
+    "ny": {"default": 2, "lo": -8, "hi": 8},
+    "nz": {"default": 2, "lo": -8, "hi": 8},
+    "nt": {"default": 4, "lo": -8, "hi": 8},
+    "warms": {"default": 0, "lo": -4, "hi": 120},
+    "ntraj": {"default": 2, "lo": -4, "hi": 1200},
+    "nsteps": {"default": 3, "lo": -4, "hi": 120},
+    "nroot": {"default": 1, "lo": -4, "hi": 20},
+    "gauge_fix": {"default": 0, "lo": -2, "hi": 3},
+    "lambda_i": {"default": 100, "lo": -100, "hi": 1100},
+    "kappa_i": {"default": 12, "lo": -100, "hi": 1100},
+    "meas_freq": {"default": 10, "lo": -4, "hi": 1100},
+    "seed": {"default": 11, "lo": 0, "hi": 10 ** 6},
+}
+
+
+def main(mpi, args):
+    """SUSY-HMC entry point; see the module docstring for the phases."""
+    mpi.Init()
+    rank = mpi.Comm_rank(mpi.COMM_WORLD)
+    size = mpi.Comm_size(mpi.COMM_WORLD)
+    world = mpi.COMM_WORLD
+
+    p = read_params(args)
+    err = check_params(p)
+    if err != 0:
+        mpi.Finalize()
+        return 0                          # graceful rejection
+
+    layout = setup_layout(rank, size, p)  # bug #4 path is inside
+    if layout is None:
+        mpi.Finalize()
+        return 0                          # indivisible machine grid
+
+    lam = int(p.lambda_i) / 100.0
+    kappa = int(p.kappa_i) / 100.0
+    phi = new_field(layout, p.seed, salt=1)
+
+    if p.gauge_fix == 1:
+        # the parity path in setup_layout survived: run the actual sweeps
+        phi = gauge_fix_sweeps(world, layout, phi, layout.gauge_sweeps)
+
+    # --- warmup phase (bug site #1) -------------------------------------
+    w = 0
+    while w < p.warms:
+        src = alloc_warmup_sources(layout, p.nroot, p.seed)
+        phi, _accepted, _ = run_trajectory(world, layout, phi, w, p, lam,
+                                           kappa)
+        w += 1
+
+    # --- measurement trajectories ----------------------------------------
+    accepted_count = 0
+    traj = 0
+    while traj < p.ntraj:
+        if p.nroot >= 2:
+            # rational approximation: multi-shift solve (bug site #2)
+            psim = alloc_multishift_solutions(layout, p.nroot, p.seed)
+            shifts = [0.1 * (s + 1) for s in range(int(p.nroot))]
+            rhs = new_field(layout, p.seed, salt=50 + traj)
+            _sols, _iters = multishift_solve(world, layout, phi, rhs, shifts,
+                                             lam, kappa)
+        phi, accepted, _ = run_trajectory(world, layout, phi, 10_000 + traj,
+                                          p, lam, kappa)
+        if accepted:
+            accepted_count += 1
+        if (traj + 1) % int(p.meas_freq) == 0:
+            bufs = alloc_measurement_buffers(layout, 4, p.seed)  # bug site #3
+            phibar, phi2, s = measure(world, layout, phi, lam, kappa)
+            obs = measure_all(world, layout, phi)
+            # checkpoint round trip — lattice codes verify their saves;
+            # a mismatch is a real (assertion) bug class
+            assert roundtrip_verify(world, layout, phi, traj), \
+                "checkpoint verification failed"
+            if rank == 0:
+                _ = (phibar, phi2, s, obs)
+        traj += 1
+
+    world.Barrier()
+    mpi.Finalize()
+    return 0

@@ -1,0 +1,77 @@
+"""Physics observables: what the measurement phase actually computes.
+
+Mirrors the measurement set of lattice scalar codes (and structurally the
+SUSY LATTICE measurement pass): link-energy per direction (the plaquette
+analog for a scalar field), time-slice two-point correlators, and the
+Binder cumulant.  Every observable is a local numpy reduction followed by
+a global ``Allreduce`` — the communication pattern that makes measurement
+phases MPI-relevant for a testing tool.
+"""
+
+import numpy as np
+
+from repro.mpi.datatypes import SUM
+
+from .rhmc import shifted
+
+
+def link_energy(world, layout, phi):
+    """Per-direction gradient energy  E_d = <phi(x) * phi(x+e_d)>."""
+    out = []
+    vol = float(layout.volume)
+    d = 0
+    while d < 4:
+        local = float(np.sum(phi * shifted(world, layout, phi, d, +1)))
+        out.append(world.Allreduce(local, SUM) / vol)
+        d += 1
+    return out
+
+
+def timeslice_correlator(world, layout, phi, max_dt=None):
+    """C(dt) = (1/Nt) Σ_t S(t) S(t+dt), with S(t) the t-slice sum of φ.
+
+    The time direction may be split across ranks (our decomposition is
+    1D-time), so slice sums are assembled with one Allreduce over a
+    globally indexed vector.
+    """
+    nt_global = layout.grid[3] * layout.local_dims[3]
+    slice_sums = np.zeros(nt_global)
+    t0 = layout.coords[3] * layout.local_dims[3]
+    lt = layout.local_dims[3]
+    t = 0
+    while t < lt:
+        slice_sums[t0 + t] = float(np.sum(phi[:, :, :, t]))
+        t += 1
+    slice_sums = world.Allreduce(slice_sums, SUM)
+    if max_dt is None:
+        max_dt = nt_global // 2
+    corr = []
+    dt = 0
+    while dt <= max_dt:
+        acc = 0.0
+        t = 0
+        while t < nt_global:
+            acc += slice_sums[t] * slice_sums[(t + dt) % nt_global]
+            t += 1
+        corr.append(acc / nt_global)
+        dt += 1
+    return corr
+
+
+def binder_cumulant(world, layout, phi):
+    """U = 1 - <φ⁴> / (3 <φ²>²) over the global volume."""
+    vol = float(layout.volume)
+    m2 = world.Allreduce(float(np.sum(phi * phi)), SUM) / vol
+    m4 = world.Allreduce(float(np.sum(phi ** 4)), SUM) / vol
+    if m2 == 0.0:
+        return 0.0
+    return 1.0 - m4 / (3.0 * m2 * m2)
+
+
+def measure_all(world, layout, phi):
+    """The full measurement pass: returns a dict of observables."""
+    return {
+        "link_energy": link_energy(world, layout, phi),
+        "correlator": timeslice_correlator(world, layout, phi),
+        "binder": binder_cumulant(world, layout, phi),
+    }

@@ -1,0 +1,54 @@
+"""SUSY-HMC input validation (the lattice code's setup() checks)."""
+
+
+def check_params(p):
+    """Return 0 when valid, a distinct positive code otherwise."""
+    if p.nx < 1:
+        return 1
+    if p.ny < 1:
+        return 2
+    if p.nz < 1:
+        return 3
+    if p.nt < 1:
+        return 4
+    if p.nx > 64:
+        return 5
+    if p.ny > 64:
+        return 6
+    if p.nz > 64:
+        return 7
+    if p.nt > 64:
+        return 8
+    if p.warms < 0:
+        return 9
+    if p.warms > 100:
+        return 10
+    if p.ntraj < 0:
+        return 11
+    if p.ntraj > 1000:
+        return 12
+    if p.nsteps < 1:
+        return 13
+    if p.nsteps > 100:
+        return 14
+    if p.nroot < 1:
+        return 15
+    if p.nroot > 16:
+        return 16
+    if p.gauge_fix < 0:
+        return 17
+    if p.gauge_fix > 1:
+        return 18
+    if p.lambda_i < 0:
+        return 19
+    if p.lambda_i > 1000:
+        return 20
+    if p.kappa_i < 0:
+        return 21
+    if p.kappa_i > 1000:
+        return 22
+    if p.meas_freq < 1:
+        return 23
+    if p.meas_freq > 1000:
+        return 24
+    return 0

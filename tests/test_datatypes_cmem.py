@@ -1,0 +1,127 @@
+"""Tests for reduction operators, payload copying, and the C-memory
+emulation behind the SUSY segfault bugs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi.datatypes import (BAND, BOR, BXOR, LAND, LOR, MAX, MAXLOC,
+                                 MIN, MINLOC, PROD, SUM, copy_payload,
+                                 reduce_pair)
+from repro.targets.cmem import (SIZEOF_PTR, CArray, SegfaultError, malloc)
+
+
+# ----------------------------------------------------------------------
+# reduction ops
+# ----------------------------------------------------------------------
+def test_scalar_ops():
+    assert reduce_pair(SUM, 2, 3) == 5
+    assert reduce_pair(PROD, 2, 3) == 6
+    assert reduce_pair(MIN, 2, 3) == 2
+    assert reduce_pair(MAX, 2, 3) == 3
+    assert reduce_pair(LAND, 1, 0) is False
+    assert reduce_pair(LOR, 1, 0) is True
+    assert reduce_pair(BAND, 0b1100, 0b1010) == 0b1000
+    assert reduce_pair(BOR, 0b1100, 0b1010) == 0b1110
+    assert reduce_pair(BXOR, 0b1100, 0b1010) == 0b0110
+
+
+def test_numpy_elementwise():
+    a = np.array([1, 5, 3])
+    b = np.array([4, 2, 3])
+    assert list(reduce_pair(SUM, a, b)) == [5, 7, 6]
+    assert list(reduce_pair(MIN, a, b)) == [1, 2, 3]
+    assert list(reduce_pair(MAX, a, b)) == [4, 5, 3]
+
+
+def test_nested_list_structure():
+    assert reduce_pair(SUM, [1, [2, 3]], [10, [20, 30]]) == [11, [22, 33]]
+    with pytest.raises(TypeError):
+        reduce_pair(SUM, [1, 2], [1])
+
+
+def test_maxloc_minloc_pairs():
+    assert reduce_pair(MAXLOC, (5, 0), (9, 1)) == (9, 1)
+    assert reduce_pair(MAXLOC, (9, 2), (9, 1)) == (9, 1)   # tie → lower idx
+    assert reduce_pair(MINLOC, (5, 0), (9, 1)) == (5, 0)
+    assert reduce_pair(MINLOC, (5, 3), (5, 1)) == (5, 1)
+
+
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=8))
+def test_sum_reduction_order_independent(xs):
+    fwd = xs[0]
+    for x in xs[1:]:
+        fwd = reduce_pair(SUM, fwd, x)
+    assert fwd == sum(xs)
+
+
+@given(st.lists(st.tuples(st.integers(-50, 50), st.integers(0, 7)),
+                min_size=1, max_size=8))
+def test_maxloc_agrees_with_python_max(pairs):
+    acc = pairs[0]
+    for p in pairs[1:]:
+        acc = reduce_pair(MAXLOC, acc, p)
+    best = max(v for v, _i in pairs)
+    best_idx = min(i for v, i in pairs if v == best)
+    assert acc == (best, best_idx)
+
+
+# ----------------------------------------------------------------------
+# payload copying
+# ----------------------------------------------------------------------
+def test_copy_payload_numpy_is_deep():
+    a = np.arange(3)
+    b = copy_payload(a)
+    a[0] = 99
+    assert b[0] == 0
+
+
+def test_copy_payload_scalars_pass_through():
+    for v in (1, 1.5, "s", b"b", None, True):
+        assert copy_payload(v) is v or copy_payload(v) == v
+
+
+def test_copy_payload_nested_containers():
+    src = {"k": [np.arange(2), (1, 2)]}
+    dst = copy_payload(src)
+    src["k"][0][0] = 77
+    assert dst["k"][0][0] == 0
+
+
+# ----------------------------------------------------------------------
+# C memory emulation
+# ----------------------------------------------------------------------
+def test_malloc_store_load_within_bounds():
+    a = malloc(4 * SIZEOF_PTR)
+    for i in range(4):
+        a.store(i, f"p{i}")
+    assert a.load(2) == "p2"
+    assert len(a) == 32
+
+
+def test_store_past_capacity_segfaults():
+    a = malloc(2 * SIZEOF_PTR)
+    a.store(1, "ok")
+    with pytest.raises(SegfaultError):
+        a.store(2, "boom")
+
+
+def test_wrong_elem_size_is_the_susy_bug():
+    nroot = 3
+    a = malloc(nroot * 4)           # sizeof(**src): 4-byte packed struct
+    with pytest.raises(SegfaultError):
+        for i in range(nroot):
+            a.store(i, object(), SIZEOF_PTR)   # 8-byte pointers
+
+
+def test_negative_index_and_negative_malloc():
+    a = malloc(16)
+    with pytest.raises(SegfaultError):
+        a.load(-1)
+    with pytest.raises(SegfaultError):
+        CArray(-8)
+
+
+def test_load_unwritten_slot_returns_none():
+    a = malloc(16)
+    assert a.load(0) is None

@@ -1,0 +1,57 @@
+"""Tests for divergence detection (CREST's mismatch handling).
+
+When a negated test case's execution does not actually flip the
+predicted branch — typical when constraint-set reduction collapsed a loop
+— the engine counts a divergence and marks the flip as tried so the
+systematic strategies don't re-propose it.
+"""
+
+from repro.core import Compi, CompiConfig
+from repro.instrument import instrument_program
+
+
+def campaign(divergence_detection, iterations=25, seed=7):
+    prog = instrument_program(["repro.targets.demo"])
+    try:
+        cfg = CompiConfig(seed=seed, init_nprocs=3, nprocs_cap=6,
+                          divergence_detection=divergence_detection,
+                          restart_with_defaults=False)
+        return Compi(prog, cfg).run(iterations=iterations)
+    finally:
+        prog.unload()
+
+
+def test_divergences_are_counted_when_enabled():
+    result = campaign(True)
+    # the demo's while-loop exit is reduction-collapsed: negating it
+    # always diverges, so campaigns long enough to try it count some
+    assert result.divergences > 0
+
+
+def test_divergences_not_counted_when_disabled():
+    result = campaign(False)
+    assert result.divergences == 0
+
+
+def test_detection_never_loses_coverage():
+    on = campaign(True, iterations=30)
+    off = campaign(False, iterations=30)
+    assert on.covered >= off.covered
+
+
+def test_divergence_marks_flip_as_tried():
+    """After a divergence, the same (prefix, flip) is not re-proposed."""
+    from repro.concolic.expr import Constraint, LinearExpr
+    from repro.concolic.trace import PathEntry
+    from repro.search import BoundedDFS
+    from repro.search.base import StrategyContext
+    from repro.concolic.coverage import CoverageMap
+
+    s = BoundedDFS()
+    c = Constraint(LinearExpr({0: 1}, -5), "<")
+    path = [PathEntry(3, True, c)]
+    s.register_execution(path)
+    ctx = StrategyContext(path=path, coverage=CoverageMap(), iteration=0)
+    assert list(s.propose(ctx)) == [0]
+    s.mark_infeasible(path, 0)         # what _check_divergence does
+    assert list(s.propose(ctx)) == []

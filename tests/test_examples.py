@@ -1,0 +1,82 @@
+"""Smoke tests: every shipped example must run end-to-end.
+
+Budgets are monkeypatched down so the whole file stays fast; the examples
+themselves default to demo-scale settings anyway.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_examples_directory_contents():
+    names = sorted(p.stem for p in EXAMPLES.glob("*.py"))
+    assert "quickstart" in names
+    assert len(names) >= 5     # the deliverable floor is 3
+
+
+def test_quickstart(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "covered" in out and "focus processes used" in out
+
+
+def test_virtual_mpi_tour(capsys):
+    load_example("virtual_mpi_tour").main()
+    out = capsys.readouterr().out
+    assert "allreduce total = 499500" in out
+    assert "master got" in out
+
+
+def test_campaign_logs(capsys):
+    load_example("campaign_logs").main()
+    out = capsys.readouterr().out
+    assert "campaign log written" in out
+    assert "error-inducing inputs" in out
+
+
+def test_bug_hunting_susy(capsys, monkeypatch):
+    from repro.core.compi import Compi
+
+    mod = load_example("bug_hunting_susy")
+    # full budget finds all four; the smoke run gets a trimmed budget
+    orig_run = Compi.run
+    monkeypatch.setattr(
+        Compi, "run",
+        lambda self, iterations=None, time_budget=None:
+            orig_run(self, iterations=min(iterations or 40, 40),
+                     time_budget=time_budget))
+    mod.main()
+    out = capsys.readouterr().out
+    assert "unique bugs found" in out
+
+
+def test_compi_vs_random(capsys, monkeypatch):
+    mod = load_example("compi_vs_random")
+    monkeypatch.setattr(mod, "TIME_BUDGET", 4.0)
+    mod.main()
+    out = capsys.readouterr().out
+    assert "COMPI" in out and "Random" in out
+
+
+def test_hpl_search_strategies(capsys, monkeypatch):
+    mod = load_example("hpl_search_strategies")
+    monkeypatch.setattr(mod, "ITERATIONS", 25)
+    monkeypatch.setattr(mod, "STRATEGY_NAMES",
+                        ["BoundedDFS(default)", "RandomBranch"])
+    mod.main()
+    out = capsys.readouterr().out
+    assert "BoundedDFS(default)" in out and "RandomBranch" in out

@@ -1,0 +1,121 @@
+"""Unit & property tests for the linear expression / constraint layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.concolic.expr import (Constraint, LinearExpr, Var, constraint_vars,
+                                 make_comparison)
+
+coeff = st.integers(min_value=-50, max_value=50)
+small_int = st.integers(min_value=-1000, max_value=1000)
+linexprs = st.builds(
+    LinearExpr,
+    st.dictionaries(st.integers(min_value=0, max_value=5), coeff, max_size=4),
+    small_int,
+)
+assignments = st.dictionaries(st.integers(min_value=0, max_value=5), small_int,
+                              min_size=6, max_size=6)
+
+
+def full_assignment():
+    return st.fixed_dictionaries({v: small_int for v in range(6)})
+
+
+def test_zero_coeffs_dropped():
+    e = LinearExpr({0: 0, 1: 3}, 5)
+    assert e.coeffs == {1: 3}
+    assert e.vars() == frozenset({1})
+
+
+def test_constant_and_variable_constructors():
+    assert LinearExpr.constant(7).is_const
+    assert LinearExpr.constant(7).const == 7
+    v = LinearExpr.variable(3)
+    assert v.coeffs == {3: 1} and v.const == 0 and not v.is_const
+
+
+def test_add_sub_scale():
+    a = LinearExpr({0: 2}, 1)
+    b = LinearExpr({0: -2, 1: 4}, 3)
+    s = a.add(b)
+    assert s.coeffs == {1: 4} and s.const == 4
+    d = a.sub(a)
+    assert d.is_const and d.const == 0
+    assert a.scale(3).coeffs == {0: 6} and a.scale(3).const == 3
+    assert a.scale(0).is_const and a.scale(0).const == 0
+
+
+@given(linexprs, linexprs, st.fixed_dictionaries({v: small_int for v in range(6)}))
+def test_add_evaluates_pointwise(a, b, asg):
+    assert a.add(b).evaluate(asg) == a.evaluate(asg) + b.evaluate(asg)
+
+
+@given(linexprs, coeff, st.fixed_dictionaries({v: small_int for v in range(6)}))
+def test_scale_evaluates_pointwise(a, k, asg):
+    assert a.scale(k).evaluate(asg) == k * a.evaluate(asg)
+
+
+@given(linexprs, linexprs, st.fixed_dictionaries({v: small_int for v in range(6)}))
+def test_sub_evaluates_pointwise(a, b, asg):
+    assert a.sub(b).evaluate(asg) == a.evaluate(asg) - b.evaluate(asg)
+
+
+def test_linear_expr_equality_and_hash():
+    a = LinearExpr({1: 2}, 3)
+    b = LinearExpr({1: 2}, 3)
+    assert a == b and hash(a) == hash(b)
+    assert a != LinearExpr({1: 2}, 4)
+
+
+@pytest.mark.parametrize("op,neg", [("<", ">="), ("<=", ">"), (">", "<="),
+                                    (">=", "<"), ("==", "!="), ("!=", "==")])
+def test_negation_table(op, neg):
+    c = Constraint(LinearExpr({0: 1}, 0), op)
+    assert c.negated().op == neg
+    assert c.negated().negated().op == op
+
+
+@given(linexprs, st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+       st.fixed_dictionaries({v: small_int for v in range(6)}))
+def test_negation_flips_evaluation(lhs, op, asg):
+    c = Constraint(lhs, op)
+    assert c.evaluate(asg) != c.negated().evaluate(asg)
+
+
+@given(linexprs, st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+       st.fixed_dictionaries({v: small_int for v in range(6)}))
+def test_normalized_preserves_semantics(lhs, op, asg):
+    c = Constraint(lhs, op)
+    normalized = c.normalized()
+    assert all(n.op in ("<=", "==", "!=") for n in normalized)
+    assert all(n.evaluate(asg) for n in normalized) == c.evaluate(asg)
+
+
+def test_make_comparison_builds_difference():
+    a = LinearExpr({0: 1}, 0)
+    b = LinearExpr({1: 1}, 5)
+    c = make_comparison(a, "<", b)
+    assert c.lhs.coeffs == {0: 1, 1: -1} and c.lhs.const == -5
+    assert c.evaluate({0: 0, 1: 0})  # 0 < 5
+
+
+def test_trivial_constraint_detection():
+    assert Constraint(LinearExpr.constant(3), "<").is_trivial
+    assert not Constraint(LinearExpr.variable(0), "<").is_trivial
+
+
+def test_constraint_vars_union():
+    cs = [Constraint(LinearExpr({0: 1, 2: 1}, 0), "<"),
+          Constraint(LinearExpr({1: 1}, 0), "==")]
+    assert constraint_vars(cs) == frozenset({0, 1, 2})
+
+
+def test_unknown_op_rejected():
+    with pytest.raises(ValueError):
+        Constraint(LinearExpr.variable(0), "<>")
+
+
+def test_var_repr_and_fields():
+    v = Var(vid=2, name="n", kind="input", cap=100)
+    assert v.cap == 100
+    assert "n#2" in repr(v)

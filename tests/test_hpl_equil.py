@@ -1,0 +1,129 @@
+"""Tests for real HPL equilibration: scaling math and end-to-end solves."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.targets.hpl.equil import _pow2_scale, unscale_solution
+from repro.targets.hpl.main import INPUT_SPEC, main as hpl_main
+
+
+def default_args(**overrides):
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(overrides)
+    return args
+
+
+def run_hpl(size=4, timeout=60, **overrides):
+    args = default_args(**overrides)
+    codes = {}
+
+    def prog(mpi):
+        codes[int(mpi.COMM_WORLD.Get_rank())] = hpl_main(mpi, dict(args))
+
+    res = run_spmd(prog, size=size, timeout=timeout)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    return codes
+
+
+def test_pow2_scale_properties():
+    assert _pow2_scale(1.0) == 1.0
+    assert _pow2_scale(8.0) == 0.125
+    assert _pow2_scale(0.25) == 4.0
+    assert _pow2_scale(0.0) == 1.0           # degenerate row guard
+    assert _pow2_scale(float("inf")) == 1.0
+    # always an exact power of two
+    for m in (3.7, 100.0, 1e-9, 12345.6):
+        s = _pow2_scale(m)
+        assert s == 2.0 ** round(np.log2(s))
+        # scaled magnitude lands within [1/sqrt2, sqrt2)-ish of 1
+        assert 0.5 <= m * s <= 2.0
+
+
+def test_unscale_solution():
+    y = np.array([1.0, 2.0, 3.0])
+    x = unscale_solution(y, {0: 2.0, 2: 0.5})
+    assert list(x) == [2.0, 2.0, 1.5]
+    assert list(y) == [1.0, 2.0, 3.0]        # input untouched
+
+
+def test_equilibrated_solve_passes_residual():
+    codes = run_hpl(size=4, n=31, nb=6, p=2, q=2, equil=1)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_equilibrated_solve_matches_unequilibrated_solution():
+    """equil=0 and equil=1 must solve the same system: compare solutions
+    via the residual check both passing AND direct x comparison."""
+    from repro.targets.hpl.grid import grid_init
+    from repro.targets.hpl.lu import (LocalBlocks, back_substitute,
+                                      factorize, gather_matrix)
+    from repro.targets.hpl.params import HplParams
+    from repro.targets.hpl.equil import (equilibrate, gather_col_scales,
+                                         unscale_solution)
+
+    n, nb, seed = 19, 4, 5
+    xs = {}
+    for equil in (0, 1):
+        captured = {}
+
+        def prog(mpi, equil=equil, captured=captured):
+            mpi.Init()
+            rank = mpi.Comm_rank(mpi.COMM_WORLD)
+            size = mpi.Comm_size(mpi.COMM_WORLD)
+            args = default_args(n=n, nb=nb, p=2, q=2, seed=seed, equil=equil)
+            params = HplParams(**{k: args[k] for k in HplParams.__slots__})
+            grid = grid_init(mpi, rank, size, 2, 2, 0)
+            local = LocalBlocks(n, nb, grid, seed)
+            scales = None
+            if equil == 1:
+                scales = gather_col_scales(grid, equilibrate(grid, local))
+            factorize(mpi, grid, local, params)
+            full = gather_matrix(grid, local)
+            if full is not None:
+                x = back_substitute(full, n)
+                if scales is not None:
+                    x = unscale_solution(x, scales)
+                captured["x"] = x
+            mpi.Finalize()
+
+        res = run_spmd(prog, size=4, timeout=60)
+        assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+        xs[equil] = captured["x"]
+
+    assert np.allclose(xs[0], xs[1], atol=1e-8)
+
+
+def test_equilibration_on_badly_scaled_system():
+    """A system with rows spanning ~12 orders of magnitude must still
+    pass the residual check when equilibration is on."""
+    from repro.targets.hpl.grid import grid_init
+    from repro.targets.hpl.lu import LocalBlocks, block_extents
+    from repro.targets.hpl.equil import equilibrate
+
+    captured = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        size = mpi.Comm_size(mpi.COMM_WORLD)
+        grid = grid_init(mpi, rank, size, 2, 2, 0)
+        local = LocalBlocks(16, 4, grid, 3)
+        # wreck the scaling: row i multiplied by 10^(i-8)
+        for (bi, bj), blk in local.blocks.items():
+            i0, i1, _j0, _j1 = block_extents(bi, bj, 16, 4)
+            blk *= (10.0 ** (np.arange(i0, i1) - 8.0))[:, None]
+        equilibrate(grid, local)
+        # post-equilibration every A-column magnitude is ~1
+        worst = 0.0
+        for (bi, bj), blk in local.blocks.items():
+            _i0, _i1, j0, j1 = block_extents(bi, bj, 16, 4)
+            a_cols = min(j1, 16) - j0
+            if a_cols > 0:
+                worst = max(worst, float(np.max(np.abs(blk[:, :a_cols]))))
+        captured[int(rank)] = worst
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=4, timeout=60)
+    assert res.ok
+    assert all(w <= 2.0 for w in captured.values())

@@ -1,0 +1,236 @@
+"""Correctness tests for the HPL target: panel math, bcast variants,
+swaps, full distributed solves across parameter combinations."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.targets.hpl.main import INPUT_SPEC, main as hpl_main
+from repro.targets.hpl.panel import factor_panel, reconstruct
+from repro.targets.hpl.sanity import check_params
+from repro.targets.hpl.params import HplParams
+from repro.targets.hpl.swap import net_permutation
+
+
+def default_args(**overrides):
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(overrides)
+    return args
+
+
+def params_from(args):
+    return HplParams(**{k: args[k] for k in HplParams.__slots__})
+
+
+def run_hpl(size=4, timeout=60, **overrides):
+    args = default_args(**overrides)
+    codes = {}
+
+    def prog(mpi):
+        codes[int(mpi.COMM_WORLD.Get_rank())] = hpl_main(mpi, dict(args))
+
+    res = run_spmd(prog, size=size, timeout=timeout)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    return codes
+
+
+# ----------------------------------------------------------------------
+# panel factorization math
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("pfact", [0, 1, 2])
+@pytest.mark.parametrize("rfact", [0, 1, 2])
+def test_factor_panel_reconstructs_pa_equals_lu(pfact, rfact):
+    rng = np.random.default_rng(pfact * 3 + rfact)
+    a = rng.normal(size=(17, 6))
+    orig = a.copy()
+    pivots = factor_panel(a, pfact, rfact, nbmin=2, ndiv=2)
+    assert len(pivots) == 6
+    assert reconstruct(a, pivots, orig) < 1e-10
+
+
+@pytest.mark.parametrize("nbmin,ndiv", [(1, 2), (2, 3), (8, 2), (3, 4)])
+def test_factor_panel_recursion_parameters(nbmin, ndiv):
+    rng = np.random.default_rng(nbmin * 10 + ndiv)
+    a = rng.normal(size=(20, 8))
+    orig = a.copy()
+    pivots = factor_panel(a, 2, 1, nbmin=nbmin, ndiv=ndiv)
+    assert reconstruct(a, pivots, orig) < 1e-10
+
+
+def test_factor_panel_variants_agree_on_pivots():
+    rng = np.random.default_rng(5)
+    a = rng.normal(size=(12, 5))
+    results = []
+    for pfact in (0, 1, 2):
+        b = a.copy()
+        piv = factor_panel(b, pfact, 2, nbmin=8, ndiv=2)
+        results.append((piv, b))
+    for piv, b in results[1:]:
+        assert piv == results[0][0]
+        assert np.allclose(b, results[0][1])
+
+
+def test_factor_panel_single_column_and_tiny_pivot():
+    a = np.array([[0.0], [0.0]])
+    pivots = factor_panel(a, 2, 2, 1, 2)
+    assert pivots == [0]  # argmax of zeros → first row; TINY guard applied
+    assert np.isfinite(a).all()
+
+
+# ----------------------------------------------------------------------
+# net row permutation (batched swap correctness)
+# ----------------------------------------------------------------------
+def test_net_permutation_matches_sequential_swaps():
+    rng = np.random.default_rng(0)
+    for trial in range(20):
+        nb, k = 4, 2
+        w = int(rng.integers(1, 5))
+        m = 12
+        pivots = [int(rng.integers(j, m - k * nb)) for j in range(w)]
+        rows = list(range(40))
+        seq = rows[:]
+        for j, p in enumerate(pivots):
+            r1, r2 = k * nb + j, k * nb + p
+            seq[r1], seq[r2] = seq[r2], seq[r1]
+        moves = net_permutation(nb, k, pivots)
+        batched = rows[:]
+        for dst, src in moves.items():
+            batched[dst] = rows[src]
+        assert batched == seq
+
+
+# ----------------------------------------------------------------------
+# sanity ladder
+# ----------------------------------------------------------------------
+def test_sanity_accepts_defaults():
+    assert check_params(params_from(default_args()), size=4) == 0
+
+
+@pytest.mark.parametrize("field,value", [
+    ("ntests", 0), ("ntests", 9), ("n", -1), ("nb", 0), ("nb", 513),
+    ("pmap", 2), ("p", 0), ("q", 0), ("threshold", -1), ("pfact", 3),
+    ("nbmin", 0), ("ndiv", 1), ("rfact", -1), ("bcast", 6), ("depth", 2),
+    ("swap", 3), ("l1form", 2), ("uform", -1), ("equil", 5), ("align", 0),
+    ("verify", 2), ("frac", 101),
+])
+def test_sanity_rejects_each_bad_field(field, value):
+    args = default_args(**{field: value})
+    assert check_params(params_from(args), size=4) != 0
+
+
+def test_sanity_rejects_grid_larger_than_world():
+    args = default_args(p=3, q=3)
+    assert check_params(params_from(args), size=4) != 0
+    assert check_params(params_from(args), size=9) == 0
+
+
+def test_sanity_rejects_nbmin_above_nb():
+    args = default_args(nb=4, nbmin=8)
+    assert check_params(params_from(args), size=4) != 0
+
+
+# ----------------------------------------------------------------------
+# full distributed solves
+# ----------------------------------------------------------------------
+def test_solve_default_configuration_passes_residual():
+    codes = run_hpl(size=4, n=40, nb=8, p=2, q=2)
+    assert all(c == 0 for c in codes.values())
+
+
+@pytest.mark.parametrize("bcast", [0, 1, 2, 3, 4, 5])
+def test_solve_all_bcast_variants(bcast):
+    codes = run_hpl(size=6, n=30, nb=7, p=2, q=3, bcast=bcast)
+    assert all(c == 0 for c in codes.values())
+
+
+@pytest.mark.parametrize("pfact,rfact", [(0, 0), (1, 1), (2, 2), (0, 2)])
+def test_solve_pfact_rfact_variants(pfact, rfact):
+    codes = run_hpl(size=4, n=33, nb=5, p=2, q=2, pfact=pfact, rfact=rfact,
+                    nbmin=2, ndiv=3)
+    assert all(c == 0 for c in codes.values())
+
+
+@pytest.mark.parametrize("swap,swap_threshold", [(0, 64), (1, 64), (2, 3),
+                                                 (2, 1300)])
+def test_solve_swap_variants(swap, swap_threshold):
+    codes = run_hpl(size=4, n=29, nb=6, p=2, q=2, swap=swap,
+                    swap_threshold=swap_threshold)
+    assert all(c == 0 for c in codes.values())
+
+
+@pytest.mark.parametrize("kw", [
+    dict(l1form=1), dict(uform=1), dict(equil=0), dict(depth=1),
+    dict(pmap=1), dict(verify=0),
+])
+def test_solve_form_and_mapping_variants(kw):
+    codes = run_hpl(size=4, n=26, nb=5, p=2, q=2, **kw)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_solve_nonsquare_grids_and_surplus_ranks():
+    # 1×3 grid with one idle rank
+    codes = run_hpl(size=4, n=24, nb=5, p=1, q=3)
+    assert all(c == 0 for c in codes.values())
+    # 3×1 grid
+    codes = run_hpl(size=3, n=24, nb=5, p=3, q=1)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_solve_single_process_grid():
+    codes = run_hpl(size=1, n=20, nb=4, p=1, q=1)
+    assert codes[0] == 0
+
+
+def test_solve_block_size_larger_than_n():
+    codes = run_hpl(size=4, n=6, nb=7, p=2, q=2)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_solve_n_zero_is_trivial():
+    codes = run_hpl(size=4, n=0, nb=4, p=2, q=2)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_solve_multiple_tests_battery():
+    codes = run_hpl(size=4, n=18, nb=4, p=2, q=2, ntests=3)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_invalid_input_is_gracefully_rejected():
+    codes = run_hpl(size=2, n=-5)
+    assert all(c == 0 for c in codes.values())
+
+
+def test_solution_matches_numpy_reference():
+    """End-to-end numeric check against numpy.linalg.solve."""
+    from repro.targets.hpl.lu import gen_block
+
+    n, seed = 21, 42
+    a = gen_block(0, n, 0, n, n, seed)
+    b = gen_block(0, n, n, n + 1, n, seed)[:, 0]
+    x_ref = np.linalg.solve(a, b)
+
+    captured = {}
+
+    def prog(mpi):
+        from repro.targets.hpl.grid import grid_init
+        from repro.targets.hpl.lu import (LocalBlocks, back_substitute,
+                                          factorize, gather_matrix)
+        from repro.targets.hpl.params import HplParams
+
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        size = mpi.Comm_size(mpi.COMM_WORLD)
+        args = default_args(n=n, nb=4, p=2, q=2, seed=seed)
+        params = HplParams(**{k: args[k] for k in HplParams.__slots__})
+        grid = grid_init(mpi, rank, size, 2, 2, 0)
+        local = LocalBlocks(n, 4, grid, seed)
+        factorize(mpi, grid, local, params)
+        full = gather_matrix(grid, local)
+        if full is not None:
+            captured["x"] = back_substitute(full, n)
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=4, timeout=60)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    assert np.allclose(captured["x"], x_ref, atol=1e-8)

@@ -1,0 +1,77 @@
+"""Tests for the HPL phase timers."""
+
+import pytest
+
+from repro.mpi import run_spmd
+from repro.targets.hpl.timers import PHASES, PhaseTimers
+
+
+def test_phase_accumulates_time_and_count():
+    t = PhaseTimers()
+    with t.phase("pfact"):
+        pass
+    with t.phase("pfact"):
+        pass
+    total, count = t.local_summary()["pfact"]
+    assert count == 2 and total >= 0.0
+
+
+def test_unknown_phase_rejected():
+    t = PhaseTimers()
+    with pytest.raises(KeyError):
+        with t.phase("nope"):
+            pass
+
+
+def test_phase_records_even_on_exception():
+    t = PhaseTimers()
+    with pytest.raises(ValueError):
+        with t.phase("swap"):
+            raise ValueError("boom")
+    assert t.local_summary()["swap"][1] == 1
+
+
+def test_report_reduces_max_across_ranks():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = int(mpi.COMM_WORLD.Get_rank())
+        t = PhaseTimers()
+        t.totals["update"] = float(rank)      # synthetic per-rank values
+        got[rank] = t.report(mpi.COMM_WORLD)
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=3, timeout=15)
+    assert res.ok
+    assert all(v["update"] == 2.0 for v in got.values())
+
+
+def test_factorize_populates_timers():
+    from repro.targets.hpl.grid import grid_init
+    from repro.targets.hpl.lu import LocalBlocks, factorize
+    from repro.targets.hpl.main import INPUT_SPEC
+    from repro.targets.hpl.params import HplParams
+
+    captured = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        size = mpi.Comm_size(mpi.COMM_WORLD)
+        args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+        args.update(n=16, nb=4)
+        params = HplParams(**{k: args[k] for k in HplParams.__slots__})
+        grid = grid_init(mpi, rank, size, 2, 2, 0)
+        local = LocalBlocks(16, 4, grid, 1)
+        timers = PhaseTimers()
+        factorize(mpi, grid, local, params, timers=timers)
+        captured[int(rank)] = timers.local_summary()
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=4, timeout=30)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    summary = captured[0]
+    # 4 panels → 4 pfact/swap/bcast/update entries each
+    for phase in ("pfact", "swap", "bcast", "update"):
+        assert summary[phase][1] == 4, (phase, summary)

@@ -1,0 +1,79 @@
+"""Tests for the IMB-MPI1 target: sanity, subset logic, every kernel."""
+
+import pytest
+
+from repro.mpi import run_spmd
+from repro.targets.imb.main import INPUT_SPEC, _active_subsets, main as imb_main
+from repro.targets.imb.params import ImbParams
+from repro.targets.imb.sanity import check_params
+
+
+def default_args(**overrides):
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(overrides)
+    return args
+
+
+def params_from(args):
+    return ImbParams(**{k: args[k] for k in ImbParams.__slots__})
+
+
+def run_imb(size=4, timeout=90, **overrides):
+    args = default_args(**overrides)
+
+    def prog(mpi):
+        return imb_main(mpi, dict(args))
+
+    res = run_spmd(prog, size=size, timeout=timeout)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    assert all(o.exit_code == 0 for o in res.outcomes)
+    return res
+
+
+def test_sanity_accepts_defaults():
+    assert check_params(params_from(default_args()), size=4) == 0
+
+
+@pytest.mark.parametrize("field,value", [
+    ("iters", 0), ("iters", 10001), ("msg_exp", -1), ("msg_exp", 23),
+    ("npmin", 1), ("warmup", -1), ("off_cache", 2), ("run_pingpong", 2),
+    ("run_barrier", -1),
+])
+def test_sanity_rejects_bad_values(field, value):
+    assert check_params(params_from(default_args(**{field: value})), size=4) != 0
+
+
+def test_sanity_rejects_npmin_above_world():
+    assert check_params(params_from(default_args(npmin=8)), size=4) != 0
+
+
+def test_active_subsets_doubling():
+    assert _active_subsets(2, 8, two_proc=False) == [2, 4, 8]
+    assert _active_subsets(3, 8, two_proc=False) == [3, 6, 8]
+    assert _active_subsets(2, 2, two_proc=False) == [2]
+    assert _active_subsets(2, 8, two_proc=True) == [2]
+    assert _active_subsets(2, 1, two_proc=True) == []
+
+
+def test_default_benchmarks_run():
+    run_imb(size=4)
+
+
+@pytest.mark.parametrize("bench", [
+    "run_pingpong", "run_pingping", "run_sendrecv", "run_exchange",
+    "run_bcast", "run_allreduce", "run_reduce", "run_allgather",
+    "run_alltoall", "run_barrier",
+])
+def test_each_kernel_individually(bench):
+    flags = {k: 0 for k in INPUT_SPEC if k.startswith("run_")}
+    flags[bench] = 1
+    run_imb(size=4, iters=2, msg_exp=4, **flags)
+
+
+def test_invalid_input_gracefully_rejected():
+    run_imb(size=2, iters=-1)
+
+
+def test_subsets_exercise_split_on_odd_world():
+    run_imb(size=5, npmin=2, iters=2, msg_exp=3,
+            run_pingpong=0, run_bcast=1, run_allreduce=0)

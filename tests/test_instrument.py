@@ -1,0 +1,218 @@
+"""Tests for the instrumentation pass: site assignment, probes, loading."""
+
+import ast
+import sys
+
+import pytest
+
+from repro.concolic import HeavySink, LightSink, sink_scope
+from repro.instrument import (SiteGraph, SiteRegistry, instrument_program,
+                              instrument_source, make_probes, uncovered_sites)
+
+
+def load_snippet(source, registry=None):
+    """Instrument a source snippet and return (namespace, registry)."""
+    registry = registry or SiteRegistry()
+    tree = instrument_source(source, "snippet", registry)
+    ns = dict(make_probes(registry))
+    exec(compile(tree, "<snippet>", "exec"), ns)
+    return ns, registry
+
+
+# ----------------------------------------------------------------------
+# transform mechanics
+# ----------------------------------------------------------------------
+def test_if_while_ifexp_get_sites():
+    src = (
+        "def f(a):\n"
+        "    if a > 0:\n"
+        "        pass\n"
+        "    while a > 10:\n"
+        "        a -= 1\n"
+        "    return 1 if a else 2\n"
+    )
+    _, reg = load_snippet(src)
+    kinds = sorted(s.kind for s in reg.sites)
+    assert kinds == ["if", "ifexp", "while"]
+    assert reg.total_branches == 6
+
+
+def test_site_ids_are_deterministic():
+    src = "def f(a):\n    if a:\n        pass\n    if a > 1:\n        pass\n"
+    _, r1 = load_snippet(src)
+    _, r2 = load_snippet(src)
+    assert [(s.sid, s.lineno, s.kind) for s in r1.sites] == \
+           [(s.sid, s.lineno, s.kind) for s in r2.sites]
+
+
+def test_function_entry_probe_after_docstring():
+    src = '"""mod doc"""\ndef f():\n    """doc"""\n    return 0\n'
+    reg = SiteRegistry()
+    tree = instrument_source(src, "m", reg)
+    fdef = next(n for n in ast.walk(tree) if isinstance(n, ast.FunctionDef))
+    # docstring stays first; probe second
+    assert isinstance(fdef.body[0].value, ast.Constant)
+    assert isinstance(fdef.body[1], ast.Expr)
+    assert fdef.body[1].value.func.id == "__compi_func__"
+
+
+def test_nested_functions_get_own_fids():
+    src = ("def outer(a):\n"
+           "    def inner(b):\n"
+           "        if b:\n"
+           "            pass\n"
+           "    if a:\n"
+           "        inner(a)\n")
+    _, reg = load_snippet(src)
+    names = [f.qualname for f in reg.functions]
+    assert names == ["<module>", "outer", "inner"]
+    # the `if b` site belongs to inner, `if a` to outer
+    inner_fid = names.index("inner")
+    outer_fid = names.index("outer")
+    assert len(reg.sites_of_function(inner_fid)) == 1
+    assert len(reg.sites_of_function(outer_fid)) == 1
+
+
+# ----------------------------------------------------------------------
+# probe behaviour under sinks
+# ----------------------------------------------------------------------
+def test_probe_records_coverage_for_concrete_conditions():
+    src = ("def f(a):\n"
+           "    if a > 5:\n"
+           "        return 'big'\n"
+           "    return 'small'\n")
+    ns, reg = load_snippet(src)
+    sink = LightSink()
+    with sink_scope(sink):
+        assert ns["f"](10) == "big"
+        assert ns["f"](1) == "small"
+    assert sink.coverage.covered_branches == 2  # both arms of the one site
+    # module toplevel executed at load time (no sink), so only f's entry
+    # was recorded
+    assert len(sink.coverage.functions) == 1
+
+
+def test_probe_records_constraints_for_symbolic_conditions():
+    src = ("def f(x):\n"
+           "    if x < 100:\n"
+           "        return 1\n"
+           "    return 0\n")
+    ns, reg = load_snippet(src)
+    sink = HeavySink()
+    with sink_scope(sink):
+        x = sink.mark_input("x", 7)
+        assert ns["f"](x) == 1
+    res = sink.result()
+    assert len(res.path) == 1
+    pe = res.path[0]
+    assert pe.site == 0 and pe.outcome is True
+    assert pe.constraint.evaluate({0: 7}) and not pe.constraint.evaluate({0: 500})
+
+
+def test_probe_symint_truthiness_records_nonzero_constraint():
+    src = "def f(x):\n    if x:\n        return 1\n    return 0\n"
+    ns, _ = load_snippet(src)
+    sink = HeavySink()
+    with sink_scope(sink):
+        x = sink.mark_input("x", 3)
+        assert ns["f"](x) == 1
+    res = sink.result()
+    assert len(res.path) == 1
+    assert res.path[0].constraint.evaluate({0: 3})
+    assert not res.path[0].constraint.evaluate({0: 0})
+
+
+def test_probe_without_sink_is_transparent():
+    src = "def f(x):\n    if x > 1:\n        return 'a'\n    return 'b'\n"
+    ns, _ = load_snippet(src)
+    assert ns["f"](5) == "a" and ns["f"](0) == "b"
+
+
+def test_while_loop_site_reduction_through_probe():
+    src = ("def f(x):\n"
+           "    i = 0\n"
+           "    while i < x:\n"
+           "        i = i + 1\n"
+           "    return i\n")
+    ns, _ = load_snippet(src)
+    sink = HeavySink(reduction=True)
+    with sink_scope(sink):
+        x = sink.mark_input("x", 50)
+        assert ns["f"](x) == 50
+    res = sink.result()
+    assert res.event_count == 51
+    assert len(res.path) == 2      # first True + final False
+
+
+# ----------------------------------------------------------------------
+# program loading (multi-module with import rewriting)
+# ----------------------------------------------------------------------
+def test_instrument_program_demo_target_runs():
+    from repro.mpi import run_spmd
+
+    prog = instrument_program(["repro.targets.demo"])
+    try:
+        assert prog.total_branches >= 12
+        results = {}
+
+        def entry(mpi):
+            return prog.entry(mpi, {"x": 10, "y": 200})
+
+        res = run_spmd(entry, size=2, timeout=15,
+                       sink_factory=lambda r: LightSink(r))
+        assert res.ok
+    finally:
+        prog.unload()
+
+
+def test_instrument_program_unload_cleans_sys_modules():
+    prog = instrument_program(["repro.targets.seq_demo"])
+    names = [m.__name__ for m in prog.modules.values()]
+    assert all(n in sys.modules for n in names)
+    prog.unload()
+    assert all(n not in sys.modules for n in names)
+
+
+def test_instrument_program_entry_validation():
+    with pytest.raises(ValueError):
+        instrument_program([])
+    with pytest.raises(ValueError):
+        instrument_program(["repro.targets.demo"], entry_module="nope")
+
+
+def test_seq_demo_bug_reachable_only_at_x_100():
+    prog = instrument_program(["repro.targets.seq_demo"])
+    try:
+        sink = HeavySink()
+        with sink_scope(sink):
+            assert prog.entry(None, {"x": 10, "y": 50}) in (1, 2, 3)
+        with pytest.raises(AssertionError):
+            with sink_scope(HeavySink()):
+                prog.entry(None, {"x": 100, "y": 50})
+    finally:
+        prog.unload()
+
+
+# ----------------------------------------------------------------------
+# site graph / uncovered-site helpers
+# ----------------------------------------------------------------------
+def test_site_graph_chains_within_function():
+    src = ("def f(a):\n"
+           "    if a > 0:\n"
+           "        pass\n"
+           "    if a > 1:\n"
+           "        pass\n"
+           "    if a > 2:\n"
+           "        pass\n")
+    _, reg = load_snippet(src)
+    g = SiteGraph(reg)
+    assert g.distance_to_any(0, {2}) == 2
+    assert g.distance_to_any(0, {0}) == 0
+    assert g.distance_to_any(0, {99}) >= 10 ** 9
+
+
+def test_uncovered_sites_requires_both_directions():
+    src = "def f(a):\n    if a:\n        pass\n    if a > 1:\n        pass\n"
+    _, reg = load_snippet(src)
+    covered = [(0, True), (0, False), (1, True)]
+    assert uncovered_sites(reg, covered) == {1}

@@ -1,0 +1,72 @@
+"""Tests for MPMD focus placement and campaign summary formatting."""
+
+import pytest
+
+from repro.core import Compi, CompiConfig, campaign_summary
+from repro.instrument import instrument_program
+from repro.mpi import ProcSet, focus_launch
+
+
+def test_focus_launch_places_heavy_block():
+    kinds = {}
+
+    def heavy(mpi):
+        mpi.Init()
+        kinds[int(mpi.COMM_WORLD.Get_rank())] = "heavy"
+
+    def light(mpi):
+        mpi.Init()
+        kinds[int(mpi.COMM_WORLD.Get_rank())] = "light"
+
+    for focus in (0, 2, 4):
+        kinds.clear()
+        res = focus_launch(size=5, focus=focus,
+                           heavy=ProcSet(1, heavy), light=ProcSet(1, light),
+                           timeout=10)
+        assert res.ok
+        assert kinds[focus] == "heavy"
+        assert sum(1 for v in kinds.values() if v == "heavy") == 1
+        assert len(kinds) == 5
+
+
+def test_focus_launch_single_rank():
+    seen = []
+
+    def heavy(mpi):
+        mpi.Init()
+        seen.append("heavy")
+
+    res = focus_launch(size=1, focus=0, heavy=ProcSet(1, heavy),
+                       light=ProcSet(1, lambda mpi: None), timeout=10)
+    assert res.ok and seen == ["heavy"]
+
+
+def test_focus_launch_rejects_out_of_range_focus():
+    with pytest.raises(ValueError):
+        focus_launch(size=2, focus=2, heavy=ProcSet(1, lambda m: None),
+                     light=ProcSet(1, lambda m: None))
+
+
+def test_campaign_summary_mentions_bugs_and_inputs():
+    prog = instrument_program(["repro.targets.seq_demo"])
+    try:
+        result = Compi(prog, CompiConfig(seed=3, init_nprocs=1,
+                                         nprocs_cap=2)).run(iterations=12)
+        text = campaign_summary(result)
+        assert "covered branches" in text
+        assert "unique bugs        : 1" in text
+        assert "x=100" in text                 # the error-inducing input
+        assert "assertion" in text
+    finally:
+        prog.unload()
+
+
+def test_campaign_summary_without_bugs():
+    prog = instrument_program(["repro.targets.demo"])
+    try:
+        result = Compi(prog, CompiConfig(seed=1, init_nprocs=2,
+                                         nprocs_cap=4)).run(iterations=3)
+        text = campaign_summary(result)
+        assert "unique bugs        : 0" in text
+    finally:
+        prog.unload()

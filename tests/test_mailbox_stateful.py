@@ -1,0 +1,96 @@
+"""Property/stateful tests of the mailbox matching semantics.
+
+A model-based check: the mailbox must behave exactly like a list of
+messages matched by (source, tag) with FIFO-per-(source, tag) order and
+wildcard support.
+"""
+
+import threading
+
+from hypothesis import given, settings, strategies as st
+from hypothesis.stateful import (RuleBasedStateMachine, invariant,
+                                 precondition, rule)
+
+from repro.mpi.channel import Mailbox
+from repro.mpi.status import ANY_SOURCE, ANY_TAG
+
+
+class MailboxModel(RuleBasedStateMachine):
+    """Reference model: a plain list replayed against the real mailbox."""
+
+    def __init__(self):
+        super().__init__()
+        self.mailbox = Mailbox(0, threading.Event())
+        self.model: list[tuple[int, int, int]] = []   # (source, tag, payload)
+        self.counter = 0
+
+    @rule(source=st.integers(0, 3), tag=st.integers(0, 3))
+    def deposit(self, source, tag):
+        self.counter += 1
+        self.mailbox.deposit(source, tag, self.counter)
+        self.model.append((source, tag, self.counter))
+
+    def _model_match(self, source, tag):
+        for i, (s, t, _p) in enumerate(self.model):
+            if source != ANY_SOURCE and s != source:
+                continue
+            if tag != ANY_TAG and t != tag:
+                continue
+            return i
+        return None
+
+    @precondition(lambda self: self.model)
+    @rule(data=st.data())
+    def receive_existing(self, data):
+        # pick a (source, tag) that definitely matches something
+        s, t, _p = data.draw(st.sampled_from(self.model))
+        use_any_source = data.draw(st.booleans())
+        use_any_tag = data.draw(st.booleans())
+        source = ANY_SOURCE if use_any_source else s
+        tag = ANY_TAG if use_any_tag else t
+        idx = self._model_match(source, tag)
+        expected = self.model.pop(idx)
+        payload, status = self.mailbox.receive(source=source, tag=tag,
+                                               timeout=1.0)
+        assert payload == expected[2]
+        assert status.source == expected[0]
+        assert status.tag == expected[1]
+
+    @rule(source=st.integers(0, 3), tag=st.integers(0, 3))
+    def probe_agrees_with_model(self, source, tag):
+        st_real = self.mailbox.probe(source=source, tag=tag)
+        idx = self._model_match(source, tag)
+        if idx is None:
+            assert st_real is None
+        else:
+            s, t, _p = self.model[idx]
+            assert st_real is not None
+            assert (st_real.source, st_real.tag) == (s, t)
+
+    @invariant()
+    def pending_counts_match(self):
+        assert self.mailbox.pending_count() == len(self.model)
+
+
+TestMailboxModel = MailboxModel.TestCase
+TestMailboxModel.settings = settings(max_examples=40, deadline=None,
+                                     stateful_step_count=30)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2)), min_size=1,
+                max_size=20))
+def test_fifo_order_per_source_tag_pair(messages):
+    """Receiving with exact (source, tag) always yields the OLDEST match."""
+    box = Mailbox(0, threading.Event())
+    for i, (s, t) in enumerate(messages):
+        box.deposit(s, t, i)
+    # drain by pair: each receive returns increasing payload indices
+    last_seen: dict[tuple[int, int], int] = {}
+    for s, t in sorted(set(messages)):
+        count = sum(1 for m in messages if m == (s, t))
+        for _ in range(count):
+            payload, _st = box.receive(source=s, tag=t, timeout=1.0)
+            key = (s, t)
+            assert last_seen.get(key, -1) < payload
+            last_seen[key] = payload
+    assert box.pending_count() == 0

@@ -1,0 +1,137 @@
+"""Unit tests for the virtual MPI runtime: lifecycle, rank/size, errors."""
+
+import pytest
+
+from repro.mpi import (MpiAbort, MpiContext, MpiInternalError, MpiInvalidRank,
+                       ProcSet, mpiexec, run_spmd)
+
+
+def test_single_rank_runs_and_returns_exit_code():
+    def prog(mpi):
+        mpi.Init()
+        assert mpi.Comm_rank(mpi.COMM_WORLD) == 0
+        assert mpi.Comm_size(mpi.COMM_WORLD) == 1
+        mpi.Finalize()
+        return 0
+
+    res = run_spmd(prog, size=1)
+    assert res.ok
+    assert res.outcomes[0].exit_code == 0
+
+
+def test_ranks_see_distinct_ids_and_shared_size():
+    seen = {}
+
+    def prog(mpi):
+        mpi.Init()
+        seen[mpi.Comm_rank(mpi.COMM_WORLD)] = mpi.Comm_size(mpi.COMM_WORLD)
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=4)
+    assert res.ok
+    assert sorted(seen) == [0, 1, 2, 3]
+    assert set(seen.values()) == {4}
+
+
+def test_double_init_is_an_error():
+    def prog(mpi):
+        mpi.Init()
+        mpi.Init()
+
+    res = run_spmd(prog, size=1)
+    assert not res.ok
+    assert isinstance(res.outcomes[0].error, MpiInternalError)
+
+
+def test_finalize_before_init_is_an_error():
+    def prog(mpi):
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=1)
+    assert isinstance(res.outcomes[0].error, MpiInternalError)
+
+
+def test_abort_tears_down_all_ranks():
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        if rank == 1:
+            mpi.Abort(42)
+        # everyone else blocks; the abort must unwind them
+        mpi.COMM_WORLD.Recv(source=1, tag=9)
+
+    res = run_spmd(prog, size=3, timeout=10)
+    assert res.abort_code == 42
+    assert res.abort_origin == 1
+    assert isinstance(res.outcomes[1].error, MpiAbort)
+
+
+def test_uncaught_exception_stops_job_and_is_reported():
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        if rank == 0:
+            raise ZeroDivisionError("seeded")
+        mpi.COMM_WORLD.Recv(source=0)
+
+    res = run_spmd(prog, size=2, timeout=10)
+    assert not res.ok
+    err = res.first_error()
+    assert err is not None and err.global_rank == 0
+    assert isinstance(err.error, ZeroDivisionError)
+    # rank 1 was unwound by the runtime, not by its own bug
+    assert res.outcomes[1].interrupted
+
+
+def test_timeout_flags_hang():
+    def prog(mpi):
+        mpi.Init()
+        if mpi.Comm_rank(mpi.COMM_WORLD) == 0:
+            mpi.COMM_WORLD.Recv(source=0, tag=77)  # nobody ever sends
+
+    res = run_spmd(prog, size=1, timeout=0.3)
+    assert res.timed_out
+
+
+def test_invalid_dest_rank_raises():
+    def prog(mpi):
+        mpi.Init()
+        mpi.COMM_WORLD.Send(1, dest=5)
+
+    res = run_spmd(prog, size=2, timeout=5)
+    err = res.first_error()
+    assert isinstance(err.error, MpiInvalidRank)
+
+
+def test_mpmd_launch_blocks_assign_ranks_in_order():
+    kinds = {}
+
+    def prog_a(mpi):
+        mpi.Init()
+        kinds[mpi.Comm_rank(mpi.COMM_WORLD)] = "a"
+
+    def prog_b(mpi):
+        mpi.Init()
+        kinds[mpi.Comm_rank(mpi.COMM_WORLD)] = "b"
+
+    res = mpiexec([ProcSet(2, prog_a), ProcSet(1, prog_b), ProcSet(1, prog_a)])
+    assert res.ok
+    assert kinds == {0: "a", 1: "a", 2: "b", 3: "a"}
+
+
+def test_empty_launch_rejected():
+    with pytest.raises(ValueError):
+        mpiexec([])
+
+
+def test_wtime_monotonic():
+    ticks = []
+
+    def prog(mpi):
+        mpi.Init()
+        ticks.append(mpi.Wtime())
+        ticks.append(mpi.Wtime())
+
+    res = run_spmd(prog, size=1)
+    assert res.ok
+    assert ticks[1] >= ticks[0] >= 0.0

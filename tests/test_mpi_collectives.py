@@ -1,0 +1,254 @@
+"""Collective operations: barrier, bcast, reductions, gather/scatter, split."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+
+
+def collect(prog, size, timeout=15):
+    res = run_spmd(prog, size=size, timeout=timeout)
+    assert res.ok, [f"{o.global_rank}: {o.error_traceback}" for o in res.outcomes
+                    if o.error is not None]
+    return res
+
+
+def test_barrier_orders_phases():
+    phases = []
+
+    def prog(mpi):
+        mpi.Init()
+        phases.append(("pre", mpi.Comm_rank(mpi.COMM_WORLD)))
+        mpi.COMM_WORLD.Barrier()
+        phases.append(("post", mpi.Comm_rank(mpi.COMM_WORLD)))
+
+    collect(prog, 4)
+    pre = [i for i, (p, _) in enumerate(phases) if p == "pre"]
+    post = [i for i, (p, _) in enumerate(phases) if p == "post"]
+    assert max(pre) < min(post)
+
+
+def test_bcast_from_nonzero_root():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        data = {"n": 99} if rank == 2 else None
+        got[rank] = mpi.COMM_WORLD.Bcast(data, root=2)
+
+    collect(prog, 4)
+    assert all(v == {"n": 99} for v in got.values())
+
+
+def test_bcast_payload_isolated_between_ranks():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        data = [1, 2] if rank == 0 else None
+        mine = mpi.COMM_WORLD.Bcast(data, root=0)
+        mine.append(rank)  # mutation must stay local
+        got[rank] = mine
+
+    collect(prog, 3)
+    assert got[1] == [1, 2, 1] and got[2] == [1, 2, 2]
+
+
+def test_reduce_sum_on_root_only():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        got[rank] = mpi.COMM_WORLD.Reduce(rank + 1, mpi.SUM, root=0)
+
+    collect(prog, 4)
+    assert got[0] == 10
+    assert got[1] is None and got[2] is None and got[3] is None
+
+
+def test_allreduce_ops():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        got.setdefault(rank, {})
+        got[rank]["sum"] = mpi.COMM_WORLD.Allreduce(rank, mpi.SUM)
+        got[rank]["max"] = mpi.COMM_WORLD.Allreduce(rank, mpi.MAX)
+        got[rank]["min"] = mpi.COMM_WORLD.Allreduce(rank, mpi.MIN)
+        got[rank]["prod"] = mpi.COMM_WORLD.Allreduce(rank + 1, mpi.PROD)
+
+    collect(prog, 4)
+    for r in range(4):
+        assert got[r] == {"sum": 6, "max": 3, "min": 0, "prod": 24}
+
+
+def test_allreduce_numpy_elementwise():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        got[rank] = mpi.COMM_WORLD.Allreduce(np.full(3, rank, dtype=np.int64),
+                                             mpi.SUM)
+
+    collect(prog, 3)
+    assert all(list(v) == [3, 3, 3] for v in got.values())
+
+
+def test_maxloc_picks_value_and_owner():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        values = [5, 9, 9, 1]
+        got[rank] = mpi.COMM_WORLD.Allreduce((values[rank], rank), mpi.MAXLOC)
+
+    collect(prog, 4)
+    # ties broken toward the lower index, like MPI_MAXLOC
+    assert all(v == (9, 1) for v in got.values())
+
+
+def test_scan_inclusive_prefix():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        got[rank] = mpi.COMM_WORLD.Scan(rank + 1, mpi.SUM)
+
+    collect(prog, 4)
+    assert got == {0: 1, 1: 3, 2: 6, 3: 10}
+
+
+def test_gather_and_allgather():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        g = mpi.COMM_WORLD.Gather(rank * rank, root=1)
+        ag = mpi.COMM_WORLD.Allgather(rank + 100)
+        got[rank] = (g, ag)
+
+    collect(prog, 3)
+    assert got[1][0] == [0, 1, 4]
+    assert got[0][0] is None and got[2][0] is None
+    assert all(v[1] == [100, 101, 102] for v in got.values())
+
+
+def test_scatter_distributes_root_list():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        data = [10, 20, 30] if rank == 0 else None
+        got[rank] = mpi.COMM_WORLD.Scatter(data, root=0)
+
+    collect(prog, 3)
+    assert got == {0: 10, 1: 20, 2: 30}
+
+
+def test_alltoall_transposes():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        size = mpi.Comm_size(mpi.COMM_WORLD)
+        got[rank] = mpi.COMM_WORLD.Alltoall([rank * 10 + d for d in range(size)])
+
+    collect(prog, 3)
+    assert got == {0: [0, 10, 20], 1: [1, 11, 21], 2: [2, 12, 22]}
+
+
+def test_split_creates_disjoint_comms():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        sub = mpi.COMM_WORLD.Split(color=rank % 2, key=rank)
+        got[rank] = (sub.Get_rank(), sub.Get_size(),
+                     sub.Allreduce(rank, mpi.SUM))
+
+    collect(prog, 4)
+    # evens {0,2} and odds {1,3}
+    assert got[0] == (0, 2, 2) and got[2] == (1, 2, 2)
+    assert got[1] == (0, 2, 4) and got[3] == (1, 2, 4)
+
+
+def test_split_key_reorders_local_ranks():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        sub = mpi.COMM_WORLD.Split(color=0, key=-rank)  # reversed order
+        got[rank] = sub.Get_rank()
+
+    collect(prog, 3)
+    assert got == {0: 2, 1: 1, 2: 0}
+
+
+def test_split_negative_color_returns_none():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        sub = mpi.COMM_WORLD.Split(color=0 if rank == 0 else -1)
+        got[rank] = sub if sub is None else sub.Get_size()
+
+    collect(prog, 3)
+    assert got[0] == 1 and got[1] is None and got[2] is None
+
+
+def test_split_comm_p2p_uses_local_ranks():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        row = mpi.COMM_WORLD.Split(color=rank // 2, key=rank)
+        if row.Get_rank() == 0:
+            row.Send(("from", rank), dest=1)
+        else:
+            got[rank], _ = row.Recv(source=0)
+
+    collect(prog, 4)
+    assert got == {1: ("from", 0), 3: ("from", 2)}
+
+
+def test_dup_gives_independent_sequencing():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        dup = mpi.COMM_WORLD.Dup()
+        a = dup.Allreduce(1, mpi.SUM)
+        b = mpi.COMM_WORLD.Allreduce(2, mpi.SUM)
+        got[rank] = (a, b)
+
+    collect(prog, 3)
+    assert all(v == (3, 6) for v in got.values())
+
+
+def test_nested_splits():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        half = mpi.COMM_WORLD.Split(color=rank // 4, key=rank)  # two halves of 4
+        pair = half.Split(color=half.Get_rank() // 2, key=half.Get_rank())
+        got[rank] = (half.Get_size(), pair.Get_size(), pair.Allreduce(rank, mpi.SUM))
+
+    collect(prog, 8)
+    assert got[0] == (4, 2, 1) and got[5] == (4, 2, 9)

@@ -1,0 +1,169 @@
+"""Edge cases of the virtual MPI runtime: collective misuse, stragglers,
+shutdown unwinding, payload corner cases."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import MpiInternalError, run_spmd
+from repro.mpi.errors import MpiShutdown
+
+
+def test_mismatched_collectives_detected():
+    """Rank 0 calls Bcast while rank 1 calls Barrier — a real SPMD bug;
+    the rendezvous detects the operation mismatch."""
+    def prog(mpi):
+        mpi.Init()
+        if mpi.COMM_WORLD.Get_rank() == 0:
+            mpi.COMM_WORLD.Bcast("x", root=0)
+        else:
+            mpi.COMM_WORLD.Barrier()
+
+    res = run_spmd(prog, size=2, timeout=10)
+    err = res.first_error()
+    assert err is not None
+    assert isinstance(err.error, MpiInternalError)
+    assert "mismatch" in str(err.error)
+
+
+def test_scatter_wrong_length_rejected():
+    def prog(mpi):
+        mpi.Init()
+        data = [1, 2] if mpi.COMM_WORLD.Get_rank() == 0 else None
+        mpi.COMM_WORLD.Scatter(data, root=0)   # 2 items for 3 ranks
+
+    res = run_spmd(prog, size=3, timeout=10)
+    assert isinstance(res.first_error().error, MpiInternalError)
+
+
+def test_straggler_counted_on_pure_compute_hang():
+    """A rank stuck in an uninstrumented infinite loop cannot be unwound;
+    the runtime abandons it and reports a straggler."""
+    def prog(mpi):
+        mpi.Init()
+        if mpi.COMM_WORLD.Get_rank() == 0:
+            x = 0
+            while True:       # no probes, no MPI: unkillable
+                x += 1
+                if x < 0:     # pragma: no cover
+                    break
+
+    res = run_spmd(prog, size=2, timeout=0.4)
+    assert res.timed_out
+    assert res.stragglers >= 1
+
+
+def test_blocked_ranks_unwind_via_shutdown():
+    """Ranks blocked in MPI calls DO unwind on timeout (no stragglers)."""
+    def prog(mpi):
+        mpi.Init()
+        mpi.COMM_WORLD.Recv(source=mpi.COMM_WORLD.Get_rank(), tag=1)
+
+    res = run_spmd(prog, size=3, timeout=0.4)
+    assert res.timed_out
+    assert res.stragglers == 0
+    assert all(isinstance(o.error, MpiShutdown) for o in res.outcomes)
+
+
+def test_send_to_self_and_recv():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        mpi.COMM_WORLD.Send("self", dest=0, tag=2)
+        got["v"], _ = mpi.COMM_WORLD.Recv(source=0, tag=2)
+
+    res = run_spmd(prog, size=1, timeout=10)
+    assert res.ok and got["v"] == "self"
+
+
+def test_zero_length_and_empty_payloads():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        if rank == 0:
+            mpi.COMM_WORLD.Send(np.zeros(0), dest=1)
+            mpi.COMM_WORLD.Send([], dest=1)
+            mpi.COMM_WORLD.Send(None, dest=1)
+        else:
+            a, _ = mpi.COMM_WORLD.Recv(source=0)
+            b, _ = mpi.COMM_WORLD.Recv(source=0)
+            c, _ = mpi.COMM_WORLD.Recv(source=0)
+            got.update(a=a, b=b, c=c)
+
+    res = run_spmd(prog, size=2, timeout=10)
+    assert res.ok
+    assert len(got["a"]) == 0 and got["b"] == [] and got["c"] is None
+
+
+def test_interleaved_comms_do_not_cross_match():
+    """Same tag on world and a split comm: messages stay separated."""
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        sub = mpi.COMM_WORLD.Split(color=0, key=rank)
+        if rank == 0:
+            mpi.COMM_WORLD.Send("world", dest=1, tag=5)
+            sub.Send("sub", dest=1, tag=5)
+        else:
+            v_sub, _ = sub.Recv(source=0, tag=5)
+            v_world, _ = mpi.COMM_WORLD.Recv(source=0, tag=5)
+            got.update(sub=v_sub, world=v_world)
+
+    res = run_spmd(prog, size=2, timeout=10)
+    assert res.ok
+    assert got == {"sub": "sub", "world": "world"}
+
+
+def test_any_tag_scoped_to_communicator():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        sub = mpi.COMM_WORLD.Split(color=0, key=rank)
+        if rank == 0:
+            mpi.COMM_WORLD.Send("world-msg", dest=1, tag=9)
+            sub.Send("sub-msg", dest=1, tag=3)
+        else:
+            # ANY_TAG on the sub comm must NOT match the world message
+            v, st = sub.Recv(source=0, tag=mpi.ANY_TAG)
+            got["v"], got["tag"] = v, st.tag
+            mpi.COMM_WORLD.Recv(source=0, tag=9)
+
+    res = run_spmd(prog, size=2, timeout=10)
+    assert res.ok
+    assert got["v"] == "sub-msg" and got["tag"] == 3
+
+
+def test_large_numpy_payload_roundtrip():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        if rank == 0:
+            mpi.COMM_WORLD.Send(np.arange(200_000, dtype=np.float64), dest=1)
+        else:
+            data, _ = mpi.COMM_WORLD.Recv(source=0)
+            got["sum"] = float(data.sum())
+
+    res = run_spmd(prog, size=2, timeout=15)
+    assert res.ok
+    assert got["sum"] == float(np.arange(200_000).sum())
+
+
+def test_many_ranks_allreduce():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = int(mpi.COMM_WORLD.Get_rank())
+        got[rank] = mpi.COMM_WORLD.Allreduce(rank, mpi.SUM)
+
+    res = run_spmd(prog, size=16, timeout=30)
+    assert res.ok
+    assert set(got.values()) == {sum(range(16))}

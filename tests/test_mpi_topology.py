@@ -1,0 +1,234 @@
+"""Tests for cartesian topologies, v-collectives, and request helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.mpi import (cart_create, dims_create, run_spmd, waitall, waitany)
+from repro.mpi.errors import MpiInternalError
+from repro.mpi.topology import _row_major_strides
+
+
+def collect(prog, size, timeout=20):
+    res = run_spmd(prog, size=size, timeout=timeout)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    return res
+
+
+# ----------------------------------------------------------------------
+# dims_create
+# ----------------------------------------------------------------------
+def test_dims_create_balanced():
+    assert sorted(dims_create(12, 2)) == [3, 4]
+    assert sorted(dims_create(8, 3)) == [2, 2, 2]
+    assert dims_create(7, 1) == [7]
+
+
+def test_dims_create_respects_fixed_entries():
+    dims = dims_create(12, 2, [3, 0])
+    assert dims == [3, 4]
+    with pytest.raises(MpiInternalError):
+        dims_create(12, 2, [5, 0])      # 12 % 5 != 0
+
+
+@given(st.integers(1, 64), st.integers(1, 4))
+def test_dims_create_product_invariant(nnodes, ndims):
+    dims = dims_create(nnodes, ndims)
+    assert int(np.prod(dims)) == nnodes
+    assert all(d >= 1 for d in dims)
+
+
+def test_row_major_strides():
+    assert _row_major_strides((2, 3, 4)) == (12, 4, 1)
+    assert _row_major_strides((5,)) == (1,)
+
+
+# ----------------------------------------------------------------------
+# cart comm
+# ----------------------------------------------------------------------
+def test_cart_coords_roundtrip():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        cart = cart_create(mpi.COMM_WORLD, dims=(2, 3), periods=(True, False))
+        me = cart.Get_rank()
+        got[int(me)] = cart.coords()
+        assert cart.rank_of(cart.coords()) == me
+
+    collect(prog, 6)
+    assert got == {0: (0, 0), 1: (0, 1), 2: (0, 2),
+                   3: (1, 0), 4: (1, 1), 5: (1, 2)}
+
+
+def test_cart_shift_periodic_and_bounded():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        cart = cart_create(mpi.COMM_WORLD, dims=(2, 2),
+                           periods=(True, False))
+        got[cart.Get_rank()] = {
+            "dim0": cart.shift(0), "dim1": cart.shift(1)}
+
+    collect(prog, 4)
+    # dim0 periodic: rank0's up/down neighbours both rank2
+    assert got[0]["dim0"] == (2, 2)
+    # dim1 non-periodic: rank0 has no left neighbour
+    assert got[0]["dim1"] == (None, 1)
+    assert got[3]["dim1"] == (2, None)
+
+
+def test_cart_excess_ranks_get_none():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        cart = cart_create(mpi.COMM_WORLD, dims=(2,), periods=(True,))
+        got[int(mpi.COMM_WORLD.Get_rank())] = cart is not None
+
+    collect(prog, 3)
+    assert got == {0: True, 1: True, 2: False}
+
+
+def test_cart_sub_splits_rows():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        cart = cart_create(mpi.COMM_WORLD, dims=(2, 3), periods=(False, True))
+        row = cart.sub([False, True])    # keep the column dimension
+        from repro.mpi.datatypes import SUM
+
+        got[cart.Get_rank()] = (row.dims, row.comm.Allreduce(
+            cart.Get_rank(), SUM))
+
+    collect(prog, 6)
+    assert got[0] == ((3,), 0 + 1 + 2)
+    assert got[4] == ((3,), 3 + 4 + 5)
+
+
+def test_cart_halo_exchange_ring():
+    """1D periodic ring: everyone passes its rank right; receives left."""
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        cart = cart_create(mpi.COMM_WORLD, dims=(4,), periods=(True,))
+        src, dst = cart.shift(0, 1)
+        data, _ = cart.comm.Sendrecv(cart.Get_rank(), dest=dst, sendtag=5,
+                                     source=src, recvtag=5)
+        got[cart.Get_rank()] = data
+
+    collect(prog, 4)
+    assert got == {0: 3, 1: 0, 2: 1, 3: 2}
+
+
+def test_cart_too_big_rejected():
+    def prog(mpi):
+        mpi.Init()
+        cart_create(mpi.COMM_WORLD, dims=(5,))
+
+    res = run_spmd(prog, size=2, timeout=10)
+    err = res.first_error()
+    assert isinstance(err.error, MpiInternalError)
+
+
+# ----------------------------------------------------------------------
+# v-collectives
+# ----------------------------------------------------------------------
+def test_gatherv_uneven_contributions():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        got[rank] = mpi.COMM_WORLD.Gatherv(list(range(rank + 1)), root=0)
+
+    collect(prog, 3)
+    assert got[0] == [[0], [0, 1], [0, 1, 2]]
+    assert got[1] is None
+
+
+def test_scatterv_uneven_parts():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        parts = [[1], [2, 2], [3, 3, 3]] if rank == 0 else None
+        got[rank] = mpi.COMM_WORLD.Scatterv(parts, root=0)
+
+    collect(prog, 3)
+    assert got == {0: [1], 1: [2, 2], 2: [3, 3, 3]}
+
+
+def test_reduce_scatter_block():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        # rank r contributes [r, r+1, r+2]; slot s sums to 0+1+2 + 3s
+        got[rank] = mpi.COMM_WORLD.Reduce_scatter(
+            [rank + s for s in range(3)], mpi.SUM)
+
+    collect(prog, 3)
+    assert got == {0: 3, 1: 6, 2: 9}
+
+
+def test_exscan():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        got[rank] = mpi.COMM_WORLD.Exscan(rank + 1, mpi.SUM)
+
+    collect(prog, 4)
+    assert got == {0: None, 1: 1, 2: 3, 3: 6}
+
+
+# ----------------------------------------------------------------------
+# request helpers
+# ----------------------------------------------------------------------
+def test_waitall_returns_in_request_order():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        if rank == 0:
+            for tag in (3, 1, 2):
+                mpi.COMM_WORLD.Send(f"m{tag}", dest=1, tag=tag)
+        else:
+            reqs = [mpi.COMM_WORLD.Irecv(source=0, tag=t) for t in (1, 2, 3)]
+            got["msgs"] = waitall(reqs)
+
+    collect(prog, 2)
+    assert got["msgs"] == ["m1", "m2", "m3"]
+
+
+def test_waitany_returns_some_completed():
+    got = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.COMM_WORLD.Get_rank()
+        if rank == 0:
+            mpi.COMM_WORLD.Send("only", dest=1, tag=7)
+        else:
+            reqs = [mpi.COMM_WORLD.Irecv(source=0, tag=9),
+                    mpi.COMM_WORLD.Irecv(source=0, tag=7)]
+            idx, payload = waitany(reqs)
+            got["r"] = (idx, payload)
+            mpi.COMM_WORLD.Send("unblock", dest=0, tag=9) if False else None
+
+    res = run_spmd(prog, size=2, timeout=10)
+    # rank 1 still holds a pending Irecv; job ends anyway (daemon threads)
+    assert got["r"] == (1, "only")
+
+
+def test_waitany_empty_rejected():
+    with pytest.raises(ValueError):
+        waitany([])

@@ -1,0 +1,76 @@
+"""Tests for campaign persistence (JSONL logs)."""
+
+import json
+
+import pytest
+
+from repro.core import Compi, CompiConfig
+from repro.core.persist import (CampaignLog, load_campaign, read_records,
+                                save_campaign)
+from repro.instrument import instrument_program
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    prog = instrument_program(["repro.targets.seq_demo"])
+    compi = Compi(prog, CompiConfig(seed=3, init_nprocs=1, nprocs_cap=2))
+    result = compi.run(iterations=12)
+    yield result
+    prog.unload()
+
+
+def test_save_and_load_roundtrip(campaign, tmp_path):
+    path = save_campaign(campaign, tmp_path / "log.jsonl",
+                         config=CompiConfig(seed=3))
+    loaded = load_campaign(path)
+    assert loaded["meta"]["program"] == campaign.program_name
+    assert loaded["meta"]["config"]["seed"] == 3
+    assert len(loaded["iterations"]) == len(campaign.iterations)
+    assert loaded["coverage"]["covered_static"] == \
+        campaign.coverage.covered_static
+
+
+def test_bug_records_roundtrip_with_inputs(campaign, tmp_path):
+    assert campaign.bugs, "fixture should have found the Fig. 1 bug"
+    path = save_campaign(campaign, tmp_path / "log.jsonl")
+    loaded = load_campaign(path)
+    orig = campaign.bugs[0]
+    got = loaded["bugs"][0]
+    assert got.kind == orig.kind
+    assert got.testcase.inputs == orig.testcase.inputs
+    assert got.testcase.setup == orig.testcase.setup
+    assert got.dedup_key == orig.dedup_key
+
+
+def test_iteration_records_roundtrip_exactly(campaign, tmp_path):
+    path = save_campaign(campaign, tmp_path / "log.jsonl")
+    loaded = load_campaign(path)
+    assert loaded["iterations"] == campaign.iterations
+
+
+def test_records_are_valid_jsonl(campaign, tmp_path):
+    path = save_campaign(campaign, tmp_path / "log.jsonl")
+    with open(path) as fh:
+        for line in fh:
+            obj = json.loads(line)
+            assert "type" in obj
+
+
+def test_streaming_writer_flushes_incrementally(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with CampaignLog(path) as log:
+        log.write_meta("p", CompiConfig(), 10)
+        assert list(read_records(path))  # visible before close
+
+
+def test_writer_outside_context_rejected(tmp_path):
+    log = CampaignLog(tmp_path / "x.jsonl")
+    with pytest.raises(RuntimeError):
+        log.write_meta("p", CompiConfig(), 1)
+
+
+def test_unknown_record_types_skipped(tmp_path):
+    path = tmp_path / "log.jsonl"
+    path.write_text('{"type": "future-thing", "x": 1}\n')
+    loaded = load_campaign(path)
+    assert loaded["meta"] is None and loaded["iterations"] == []

@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.analysis.plots import coverage_chart, histogram_chart, line_chart
+
+
+def test_line_chart_renders_markers_and_legend():
+    out = line_chart({"dfs": [0, 5, 10], "rand": [0, 1, 1]}, width=20,
+                     height=6, title="T")
+    assert out.startswith("T")
+    assert "*" in out and "o" in out
+    assert "*=dfs" in out and "o=rand" in out
+
+
+def test_line_chart_extremes_on_axis():
+    out = line_chart({"s": [0, 100]}, width=10, height=5)
+    lines = out.splitlines()
+    assert lines[0].lstrip().startswith("100")     # y max label on top
+    assert lines[4].lstrip().startswith("0")       # y min at bottom
+
+
+def test_line_chart_empty():
+    assert "(no data)" in line_chart({}, title="x")
+    assert "(no data)" in line_chart({"a": []})
+
+
+def test_line_chart_constant_series():
+    out = line_chart({"c": [5, 5, 5]}, width=12, height=4)
+    assert "*" in out
+
+
+def test_coverage_chart_from_campaign():
+    from repro.core import Compi, CompiConfig
+    from repro.instrument import instrument_program
+
+    prog = instrument_program(["repro.targets.demo"])
+    try:
+        res = Compi(prog, CompiConfig(seed=1, init_nprocs=2,
+                                      nprocs_cap=4)).run(iterations=6)
+        out = coverage_chart({"compi": res}, title="demo")
+        assert "covered branches" in out
+    finally:
+        prog.unload()
+
+
+def test_histogram_chart():
+    out = histogram_chart([("[0,100)", 10), ("[100,300)", 5), (">=300", 0)],
+                          width=10, title="H")
+    lines = out.splitlines()
+    assert lines[0] == "H"
+    assert lines[1].count("#") == 10
+    assert lines[2].count("#") == 5
+    assert lines[3].count("#") == 0
+
+
+def test_histogram_empty():
+    assert "(no data)" in histogram_chart([], title="x")

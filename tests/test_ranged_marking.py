@@ -1,0 +1,74 @@
+"""Tests for ranged / width-typed marking (the CREST_char family)."""
+
+import pytest
+
+from repro.concolic import (HeavySink, LightSink, SymInt, compi_char,
+                            compi_int_with_range, compi_short, compi_uchar,
+                            compi_ushort, sink_scope)
+from repro.core import CompiConfig, capping_constraints, solver_domains
+
+
+def trace_of(fn):
+    sink = HeavySink()
+    with sink_scope(sink):
+        fn()
+    return sink.result()
+
+
+def test_range_marking_records_both_bounds():
+    res = trace_of(lambda: compi_int_with_range(5, "n", lo=-3, hi=40))
+    var = res.vars[0]
+    assert var.floor == -3 and var.cap == 40
+
+
+def test_empty_range_rejected():
+    with pytest.raises(ValueError):
+        compi_int_with_range(0, "n", lo=5, hi=1)
+
+
+@pytest.mark.parametrize("fn,lo,hi", [
+    (compi_char, -128, 127),
+    (compi_uchar, 0, 255),
+    (compi_short, -(2 ** 15), 2 ** 15 - 1),
+    (compi_ushort, 0, 2 ** 16 - 1),
+])
+def test_width_typed_markings(fn, lo, hi):
+    res = trace_of(lambda: fn(1, "v"))
+    var = res.vars[0]
+    assert (var.floor, var.cap) == (lo, hi)
+
+
+def test_width_marking_returns_symbolic_on_heavy_sink():
+    sink = HeavySink()
+    with sink_scope(sink):
+        v = compi_uchar(10, "c")
+    assert isinstance(v, SymInt) and v.is_symbolic
+
+
+def test_width_marking_concrete_on_light_sink():
+    with sink_scope(LightSink()):
+        assert compi_char(7, "c") == 7
+    assert compi_char(7, "c") == 7        # and with no sink at all
+
+
+def test_capping_constraints_include_floor():
+    res = trace_of(lambda: compi_int_with_range(5, "n", lo=2, hi=9))
+    cs = capping_constraints(res)
+    assert len(cs) == 2
+    assert all(c.evaluate({0: 5}) for c in cs)
+    assert not all(c.evaluate({0: 1}) for c in cs)    # below floor
+    assert not all(c.evaluate({0: 10}) for c in cs)   # above cap
+
+
+def test_solver_domains_respect_floor_and_cap():
+    res = trace_of(lambda: compi_int_with_range(5, "n", lo=2, hi=9))
+    box = solver_domains(res, CompiConfig(input_min=-100, input_max=100))
+    assert box[0] == (2, 9)
+
+
+def test_floor_above_spec_bounds_still_coherent():
+    res = trace_of(lambda: compi_int_with_range(50, "n", lo=40, hi=60))
+    box = solver_domains(res, CompiConfig(), input_bounds={"n": (-5, 45)})
+    lo, hi = box[0]
+    assert lo <= hi          # never an inverted box
+    assert lo >= 40 and hi <= 45

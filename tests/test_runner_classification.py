@@ -1,0 +1,126 @@
+"""Tests for the test runner: error taxonomy, focus placement, logs."""
+
+import pytest
+
+from repro.core import (CompiConfig, KIND_ABORT, KIND_ASSERT, KIND_FPE,
+                        KIND_HANG, KIND_MPI, KIND_SEGFAULT, TestSetup,
+                        classify_run)
+from repro.core.runner import TestRunner, classify_exception, crash_location
+from repro.core.testcase import TestCase
+from repro.instrument import instrument_program
+from repro.mpi import run_spmd
+from repro.mpi.errors import MpiAbort, MpiInternalError
+from repro.targets.cmem import SegfaultError
+
+
+# ----------------------------------------------------------------------
+# exception → kind mapping
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("exc,kind", [
+    (AssertionError("x"), KIND_ASSERT),
+    (SegfaultError("x"), KIND_SEGFAULT),
+    (IndexError("x"), KIND_SEGFAULT),
+    (MemoryError(), KIND_SEGFAULT),
+    (ZeroDivisionError(), KIND_FPE),
+    (FloatingPointError(), KIND_FPE),
+    (OverflowError(), KIND_FPE),
+    (MpiAbort(3), KIND_ABORT),
+    (MpiInternalError("x"), KIND_MPI),
+    (RuntimeError("x"), "crash"),
+])
+def test_classify_exception(exc, kind):
+    assert classify_exception(exc) == kind
+
+
+# ----------------------------------------------------------------------
+# job-level classification
+# ----------------------------------------------------------------------
+def test_classify_hang():
+    def prog(mpi):
+        mpi.Init()
+        mpi.COMM_WORLD.Recv(source=0, tag=1)  # self-wait forever
+
+    job = run_spmd(prog, size=1, timeout=0.3)
+    err = classify_run(job)
+    assert err is not None and err.kind == KIND_HANG
+
+
+def test_classify_clean_and_nonzero_exits():
+    def prog(mpi):
+        mpi.Init()
+        return 1 if mpi.COMM_WORLD.Get_rank() == 0 else 0
+
+    job = run_spmd(prog, size=2, timeout=10)
+    # sanity-check rejections (nonzero but graceful) are not bugs
+    assert classify_run(job) is None
+
+
+def test_classify_abort_code():
+    def prog(mpi):
+        mpi.Init()
+        if mpi.COMM_WORLD.Get_rank() == 0:
+            mpi.Abort(9)
+        mpi.COMM_WORLD.Barrier()
+
+    job = run_spmd(prog, size=2, timeout=10)
+    err = classify_run(job)
+    assert err.kind == KIND_ABORT
+
+
+def test_crash_location_skips_helper_frames():
+    tb = ('Traceback (most recent call last):\n'
+          '  File "/x/targets/susy/fields.py", line 57, in alloc_warmup_sources\n'
+          '    src.store(n, f, 8)\n'
+          '  File "/x/targets/cmem.py", line 60, in store\n'
+          '    raise SegfaultError("boom")\n')
+    assert crash_location(tb) == "fields.py:57:alloc_warmup_sources"
+
+
+def test_crash_location_empty_traceback():
+    assert crash_location("") == ""
+
+
+# ----------------------------------------------------------------------
+# runner end-to-end behaviours
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def demo_program():
+    prog = instrument_program(["repro.targets.demo"])
+    yield prog
+    prog.unload()
+
+
+def run_once(program, cfg, nprocs=3, focus=1, inputs=None):
+    runner = TestRunner(program, cfg)
+    tc = TestCase(inputs=inputs or {"x": 10, "y": 200},
+                  setup=TestSetup(nprocs, focus))
+    return runner.run(tc)
+
+
+def test_focus_rank_owns_the_trace(demo_program):
+    rec = run_once(demo_program, CompiConfig(seed=1), focus=2)
+    # the rw variables recorded concrete value 2 — the focus's rank
+    rw = rec.trace.vars_by_kind("rw")
+    assert rw and all(rec.trace.values[v.vid] == 2 for v in rw)
+
+
+def test_framework_off_limits_coverage_to_focus(demo_program):
+    on = run_once(demo_program, CompiConfig(seed=1, framework=True))
+    off = run_once(demo_program, CompiConfig(seed=1, framework=False))
+    assert off.coverage.covered_branches <= on.coverage.covered_branches
+    # with framework off, rank/size are unmarked → no rw/sw vars
+    assert not off.trace.vars_by_kind("rw")
+    assert not off.trace.vars_by_kind("sw")
+
+
+def test_one_way_blows_up_nonfocus_logs(demo_program):
+    two = run_once(demo_program, CompiConfig(seed=1, two_way=True),
+                   inputs={"x": 500, "y": 200})
+    one = run_once(demo_program, CompiConfig(seed=1, two_way=False),
+                   inputs={"x": 500, "y": 200})
+    assert max(one.nonfocus_log_sizes) > 3 * max(two.nonfocus_log_sizes)
+
+
+def test_runner_reports_wall_time(demo_program):
+    rec = run_once(demo_program, CompiConfig(seed=1))
+    assert rec.wall_time > 0

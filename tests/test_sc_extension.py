@@ -1,0 +1,97 @@
+"""Tests for the sc extension: marking non-default communicator sizes.
+
+The paper explicitly does NOT mark these (§III-A); this reproduction
+implements them as an opt-in extension (``CompiConfig.mark_comm_sizes``)
+with the natural inherent constraints: ``1 <= s_i <= z0`` and the
+symbolic local-rank bound ``y_i < s_i``.
+"""
+
+import pytest
+
+from repro.concolic import HeavySink, SymInt
+from repro.concolic.expr import KIND_RC, KIND_SC
+from repro.core import Compi, CompiConfig, mpi_semantic_constraints
+from repro.instrument import instrument_program
+
+
+class FakeComm:
+    def __init__(self, comm_id, group, rank):
+        self.comm_id = comm_id
+        self.group = tuple(group)
+        self._rank = rank
+
+    @property
+    def is_world(self):
+        return self.comm_id == 0
+
+    def Get_rank(self):
+        return self._rank
+
+    def Get_size(self):
+        return len(self.group)
+
+
+def test_default_behaviour_keeps_local_sizes_concrete():
+    s = HeavySink()
+    sub = FakeComm(5, (0, 1, 2), 1)
+    assert isinstance(s.on_comm_size(sub, 3), int)
+
+
+def test_extension_marks_local_sizes():
+    s = HeavySink(mark_comm_sizes=True)
+    sub = FakeComm(5, (0, 1, 2), 1)
+    sz = s.on_comm_size(sub, 3)
+    assert isinstance(sz, SymInt) and sz.is_symbolic
+    res = s.result()
+    sc = res.vars_by_kind(KIND_SC)[0]
+    assert sc.comm_index == 0 and sc.comm_size == 3
+
+
+def test_sc_semantic_constraints():
+    s = HeavySink(mark_comm_sizes=True)
+    world = FakeComm(0, (0, 1, 2, 3), 1)
+    sub = FakeComm(5, (0, 1, 2), 1)
+    s.on_comm_size(world, 4)            # z0
+    s.on_comm_rank(sub, 1)              # y0
+    s.on_comm_size(sub, 3)              # s0
+    trace = s.result()
+    cs = mpi_semantic_constraints(trace, CompiConfig(nprocs_cap=8))
+    vid = {v.name: v.vid for v in trace.vars}
+    good = {vid["size_world"]: 4, vid["rank_comm0"]: 1, vid["size_comm0"]: 3}
+    assert all(c.evaluate(good) for c in cs)
+    # local size above world size violates
+    bad = dict(good)
+    bad[vid["size_comm0"]] = 5
+    assert not all(c.evaluate(bad) for c in cs)
+    # local rank >= local size violates (symbolic bound, not concrete)
+    bad = dict(good)
+    bad[vid["rank_comm0"]] = 3
+    assert not all(c.evaluate(bad) for c in cs)
+    # zero-size communicator violates
+    bad = dict(good)
+    bad[vid["size_comm0"]] = 0
+    assert not all(c.evaluate(bad) for c in cs)
+
+
+def test_campaign_runs_with_extension_enabled():
+    prog = instrument_program(["repro.targets.demo"])
+    try:
+        compi = Compi(prog, CompiConfig(seed=7, init_nprocs=3, nprocs_cap=6,
+                                        mark_comm_sizes=True))
+        result = compi.run(iterations=20)
+        assert result.covered > 10
+    finally:
+        prog.unload()
+
+
+def test_extension_solver_domains():
+    from repro.core import solver_domains
+    from repro.concolic.trace import TraceResult
+    from repro.concolic.coverage import CoverageMap
+    from repro.concolic.expr import Var
+
+    trace = TraceResult(
+        vars=[Var(vid=0, name="s", kind=KIND_SC, comm_index=0, comm_size=3)],
+        values={0: 3}, path=[], coverage=CoverageMap(), mapping_rows=[])
+    box = solver_domains(trace, CompiConfig(nprocs_cap=8))
+    assert box[0] == (1, 8)

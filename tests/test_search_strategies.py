@@ -1,0 +1,160 @@
+"""Unit tests for the search strategies and the execution tree."""
+
+import numpy as np
+import pytest
+
+from repro.concolic.coverage import CoverageMap
+from repro.concolic.expr import Constraint, LinearExpr
+from repro.concolic.trace import PathEntry
+from repro.search import (BoundedDFS, CfgDirectedSearch, ExecutionTree,
+                          RandomBranchSearch, StrategyContext, TwoPhaseDFS,
+                          UniformRandomSearch)
+
+
+def entry(site, outcome):
+    c = Constraint(LinearExpr({0: 1}, -site), "<")
+    return PathEntry(site, outcome, c if outcome else c.negated())
+
+
+def path(*pairs):
+    return [entry(s, o) for s, o in pairs]
+
+
+def ctx(p, iteration=0, coverage=None):
+    return StrategyContext(path=p, coverage=coverage or CoverageMap(),
+                           iteration=iteration)
+
+
+# ----------------------------------------------------------------------
+# execution tree
+# ----------------------------------------------------------------------
+def test_tree_insert_and_flip_status():
+    t = ExecutionTree()
+    p = path((1, True), (2, False))
+    t.insert(p)
+    assert t.flip_status(p, 0) == "unexplored"   # (1, False) never taken
+    assert t.flip_status(p, 1) == "unexplored"
+    t.insert(path((1, True), (2, True)))
+    assert t.flip_status(p, 1) == "explored"
+
+
+def test_tree_mark_and_clear_infeasible():
+    t = ExecutionTree()
+    p = path((1, True))
+    t.insert(p)
+    t.mark_infeasible(p, 0)
+    assert t.flip_status(p, 0) == "infeasible"
+    t.clear_infeasible()
+    assert t.flip_status(p, 0) == "unexplored"
+
+
+def test_tree_execution_clears_stale_infeasible():
+    t = ExecutionTree()
+    p = path((1, True))
+    t.insert(p)
+    t.mark_infeasible(p, 0)
+    # the "infeasible" direction actually executed later: feasible after all
+    t.insert(path((1, False)))
+    assert t.flip_status(p, 0) == "explored"
+
+
+# ----------------------------------------------------------------------
+# (Bounded)DFS
+# ----------------------------------------------------------------------
+def test_dfs_proposes_deepest_first():
+    s = BoundedDFS()
+    p = path((1, True), (2, True), (3, True))
+    s.register_execution(p)
+    assert list(s.propose(ctx(p))) == [2, 1, 0]
+
+
+def test_dfs_skips_explored_flips():
+    s = BoundedDFS()
+    p = path((1, True), (2, True))
+    s.register_execution(p)
+    s.register_execution(path((1, True), (2, False)))
+    assert list(s.propose(ctx(p))) == [0]
+
+
+def test_bounded_dfs_respects_depth_bound():
+    s = BoundedDFS(depth_bound=2)
+    p = path((1, True), (2, True), (3, True), (4, True))
+    s.register_execution(p)
+    assert list(s.propose(ctx(p))) == [1, 0]
+
+
+def test_dfs_exhausted_flag():
+    s = BoundedDFS()
+    p = path((1, True))
+    s.register_execution(p)
+    s.register_execution(path((1, False)))
+    assert list(s.propose(ctx(p))) == []
+    assert s.exhausted
+
+
+def test_two_phase_dfs_unbounded_then_derived_bound():
+    s = TwoPhaseDFS(observe_iterations=2, slack=1.5)
+    long_path = path(*[(i, True) for i in range(10)])
+    s.register_execution(long_path)
+    # phase 1: unbounded
+    assert s.current_bound(ctx(long_path, iteration=0)) is None
+    # phase 2: ceil(1.5 * 10) = 15
+    assert s.current_bound(ctx(long_path, iteration=2)) == 15
+    # the derived bound is frozen afterwards
+    s.register_execution(path(*[(i, True) for i in range(100)]))
+    assert s.current_bound(ctx(long_path, iteration=3)) == 15
+
+
+def test_two_phase_dfs_fixed_bound_overrides():
+    s = TwoPhaseDFS(observe_iterations=1, fixed_bound=7)
+    p = path(*[(i, True) for i in range(10)])
+    s.register_execution(p)
+    assert s.current_bound(ctx(p, iteration=5)) == 7
+
+
+# ----------------------------------------------------------------------
+# random strategies
+# ----------------------------------------------------------------------
+def test_random_branch_yields_valid_positions():
+    s = RandomBranchSearch(rng=np.random.default_rng(1))
+    p = path((1, True), (2, True), (1, False))
+    s.register_execution(p)
+    got = list(s.propose(ctx(p)))
+    assert got and all(0 <= pos < 3 for pos in got)
+
+
+def test_uniform_random_skips_infeasible():
+    s = UniformRandomSearch(rng=np.random.default_rng(2))
+    p = path((1, True), (2, True))
+    s.register_execution(p)
+    s.mark_infeasible(p, 0)
+    s.mark_infeasible(p, 1)
+    assert list(s.propose(ctx(p))) == []
+
+
+def test_random_strategies_empty_path():
+    for s in (RandomBranchSearch(), UniformRandomSearch()):
+        assert list(s.propose(ctx([]))) == []
+
+
+# ----------------------------------------------------------------------
+# CFG-directed
+# ----------------------------------------------------------------------
+def test_cfg_search_prefers_branch_near_uncovered():
+    from repro.instrument import SiteRegistry
+
+    reg = SiteRegistry()
+    fid = reg.new_function("m", "f", 1)
+    sids = [reg.new_site("m", fid, i + 2, "if") for i in range(5)]
+    s = CfgDirectedSearch(reg, rng=np.random.default_rng(0))
+    p = path((sids[0], True), (sids[4], True))
+    s.register_execution(p)
+    cov = CoverageMap()
+    # cover both arms of everything except site 3 (neighbour of 4)
+    for sid in sids:
+        if sid != sids[3]:
+            cov.add_branch(sid, True)
+            cov.add_branch(sid, False)
+    cov.add_branch(sids[3], True)
+    first = next(iter(s.propose(ctx(p, coverage=cov))))
+    assert first == 1  # position of site 4, one hop from uncovered site 3

@@ -1,0 +1,87 @@
+"""Tests for solver-side constraint simplification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.concolic.expr import Constraint, LinearExpr
+from repro.solver.simplify import simplify
+
+
+def le(coeffs, const):
+    return Constraint(LinearExpr(coeffs, const), "<=")
+
+
+def lt(coeffs, const):
+    return Constraint(LinearExpr(coeffs, const), "<")
+
+
+def eq(coeffs, const):
+    return Constraint(LinearExpr(coeffs, const), "==")
+
+
+def ne(coeffs, const):
+    return Constraint(LinearExpr(coeffs, const), "!=")
+
+
+def test_exact_duplicates_removed():
+    cs = [le({0: 1}, -5), le({0: 1}, -5), eq({1: 1}, 0), eq({1: 1}, 0)]
+    out = simplify(cs)
+    assert len(out) == 2
+
+
+def test_subsumption_keeps_tightest_le():
+    # x - 100 <= 0 subsumed by x - 5 <= 0 (x <= 5 is tighter)
+    cs = [le({0: 1}, -100), le({0: 1}, -5)]
+    out = simplify(cs)
+    assert len(out) == 1
+    assert out[0].lhs.const == -5
+
+
+def test_subsumption_direction_matters():
+    # -x + 5 <= 0 (x >= 5) and -x + 100 <= 0 (x >= 100): keep x >= 100
+    cs = [le({0: -1}, 5), le({0: -1}, 100)]
+    out = simplify(cs)
+    assert len(out) == 1 and out[0].lhs.const == 100
+
+
+def test_different_coefficients_kept_separately():
+    cs = [le({0: 1}, -5), le({0: 2}, -5), le({0: 1, 1: 1}, -5)]
+    assert len(simplify(cs)) == 3
+
+
+def test_strict_inequalities_normalize_then_merge():
+    # x < 6  ≡ x + 1 - 6 <= 0 ≡ x <= 5 ; together with x <= 5 → one left
+    cs = [lt({0: 1}, -6), le({0: 1}, -5)]
+    out = simplify(cs)
+    assert len(out) == 1
+
+
+def test_ne_and_eq_not_merged_across_constants():
+    cs = [ne({0: 1}, -5), ne({0: 1}, -6), eq({1: 1}, -1), eq({1: 1}, -2)]
+    assert len(simplify(cs)) == 4
+
+
+def test_loop_family_collapses_to_boundary():
+    """The Fig. 7 pattern: x + i < 100 for i = 0..99 → single tightest."""
+    cs = [lt({0: 1}, i - 100) for i in range(100)]
+    out = simplify(cs)
+    assert len(out) == 1
+    # tightest is i=99: x + 99 < 100 → x <= 0
+    assert out[0].evaluate({0: 0}) and not out[0].evaluate({0: 1})
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(
+    st.tuples(st.dictionaries(st.integers(0, 2), st.integers(-3, 3),
+                              min_size=1, max_size=2),
+              st.integers(-10, 10),
+              st.sampled_from(["<", "<=", ">", ">=", "==", "!="])),
+    max_size=8),
+    st.fixed_dictionaries({v: st.integers(-30, 30) for v in range(3)}))
+def test_simplify_preserves_satisfaction(specs, assignment):
+    cs = [Constraint(LinearExpr(c, k), op) for c, k, op in specs]
+    out = simplify(cs)
+    assert len(out) <= sum(len(c.normalized()) for c in cs)
+    before = all(c.evaluate(assignment) for c in cs)
+    after = all(c.evaluate(assignment) for c in out)
+    assert before == after

@@ -1,0 +1,78 @@
+"""Tests for the gauge-fixing sweep path (the surviving side of bug #4)."""
+
+import numpy as np
+
+from repro.mpi import run_spmd
+from repro.targets.susy.layout import setup_layout
+from repro.targets.susy.main import INPUT_SPEC, main as susy_main
+from repro.targets.susy.params import SusyParams
+from repro.targets.susy.rhmc import gauge_fix_sweeps
+
+
+def default_params(**overrides):
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(overrides)
+    return SusyParams(**{k: args[k] for k in SusyParams.__slots__})
+
+
+def test_sweeps_damp_time_gradient():
+    """Each sweep smooths along t: the t-variance must shrink."""
+    out = {}
+
+    def prog(mpi):
+        mpi.Init()
+        p = default_params(nx=2, ny=2, nz=2, nt=4)
+        lay = setup_layout(0, 1, p)
+        rng = np.random.default_rng(5)
+        phi = rng.normal(size=lay.local_dims)
+
+        def t_roughness(f):
+            return float(np.sum((f - np.roll(f, 1, axis=3)) ** 2))
+
+        before = t_roughness(phi)
+        smoothed = gauge_fix_sweeps(mpi.COMM_WORLD, lay, phi, sweeps=5)
+        out["before"] = before
+        out["after"] = t_roughness(smoothed)
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=1, timeout=20)
+    assert res.ok
+    assert out["after"] < out["before"]
+
+
+def test_zero_sweeps_is_identity():
+    def prog(mpi):
+        mpi.Init()
+        p = default_params()
+        lay = setup_layout(0, 1, p)
+        phi = np.arange(np.prod(lay.local_dims), dtype=float).reshape(
+            lay.local_dims)
+        assert np.array_equal(gauge_fix_sweeps(mpi.COMM_WORLD, lay, phi, 0),
+                              phi)
+        mpi.Finalize()
+
+    assert run_spmd(prog, size=1, timeout=20).ok
+
+
+def test_layout_gauge_sweep_counts():
+    # odd small machine: parity 1 → sweeps = nt // 1 = nt
+    p = default_params(gauge_fix=1, nx=3, ny=3, nz=3, nt=3)
+    lay = setup_layout(0, 3, p)
+    assert lay.gauge_sweeps == 3
+    # gauge fixing off → no sweeps
+    lay = setup_layout(0, 1, default_params(gauge_fix=0))
+    assert lay.gauge_sweeps == 0
+
+
+def test_gauge_fix_full_run_distributed():
+    """gauge_fix=1 on 1 process (parity path) runs sweeps and completes."""
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(gauge_fix=1, ntraj=1)
+    codes = {}
+
+    def prog(mpi):
+        codes[int(mpi.COMM_WORLD.Get_rank())] = susy_main(mpi, dict(args))
+
+    res = run_spmd(prog, size=1, timeout=30)
+    assert res.ok
+    assert codes[0] == 0

@@ -1,0 +1,146 @@
+"""Tests for SUSY observables and checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import run_spmd
+from repro.targets.susy.checkpoint import (CheckpointError, FORMAT_VERSION,
+                                           load, roundtrip_verify, save)
+from repro.targets.susy.layout import setup_layout
+from repro.targets.susy.main import INPUT_SPEC
+from repro.targets.susy.observables import (binder_cumulant, link_energy,
+                                            measure_all,
+                                            timeslice_correlator)
+from repro.targets.susy.params import SusyParams
+
+
+def default_params(**overrides):
+    args = {k: v["default"] for k, v in INPUT_SPEC.items()}
+    args.update(overrides)
+    return SusyParams(**{k: args[k] for k in SusyParams.__slots__})
+
+
+def with_lattice(fn, size=2, dims=(2, 2, 2, 4), timeout=30):
+    """Run fn(world, layout, phi) on every rank with a shared lattice."""
+    out = {}
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        nprocs = mpi.Comm_size(mpi.COMM_WORLD)
+        p = default_params(nx=dims[0], ny=dims[1], nz=dims[2], nt=dims[3])
+        lay = setup_layout(rank, nprocs, p)
+        assert lay is not None
+        rng = np.random.default_rng(42 + int(rank))
+        phi = rng.normal(size=lay.local_dims)
+        out[int(rank)] = fn(mpi.COMM_WORLD, lay, phi)
+        mpi.Finalize()
+
+    res = run_spmd(prog, size=size, timeout=timeout)
+    assert res.ok, [o.error_traceback for o in res.outcomes if o.error]
+    return out
+
+
+# ----------------------------------------------------------------------
+# observables
+# ----------------------------------------------------------------------
+def test_link_energy_agrees_across_ranks():
+    out = with_lattice(lambda w, l, p: link_energy(w, l, p))
+    vals = list(out.values())
+    assert len(vals[0]) == 4
+    assert vals[0] == vals[1]
+
+
+def test_link_energy_constant_field():
+    out = with_lattice(lambda w, l, p: link_energy(w, l, np.ones(l.local_dims)))
+    # <phi(x) phi(x+d)> of the all-ones field is exactly 1 per direction
+    assert all(abs(e - 1.0) < 1e-12 for e in out[0])
+
+
+def test_correlator_shape_and_symmetry_input():
+    out = with_lattice(lambda w, l, p: timeslice_correlator(w, l, p))
+    corr = out[0]
+    assert len(corr) == 4 // 2 + 1       # nt=4 → dt 0..2
+    assert out[0] == out[1]
+    # C(0) is a sum of squares → nonnegative
+    assert corr[0] >= 0.0
+
+
+def test_correlator_distributed_matches_single_rank():
+    single = with_lattice(lambda w, l, p: timeslice_correlator(
+        w, l, np.ones(l.local_dims)), size=1)
+    dual = with_lattice(lambda w, l, p: timeslice_correlator(
+        w, l, np.ones(l.local_dims)), size=2)
+    assert np.allclose(single[0], dual[0])
+
+
+def test_binder_cumulant_bounds():
+    out = with_lattice(lambda w, l, p: binder_cumulant(w, l, p))
+    # for any real field distribution, U <= 2/3 and typically > -2
+    assert out[0] == out[1]
+    assert out[0] <= 2.0 / 3.0 + 1e-12
+
+
+def test_binder_zero_field():
+    out = with_lattice(lambda w, l, p: binder_cumulant(
+        w, l, np.zeros(l.local_dims)))
+    assert out[0] == 0.0
+
+
+def test_measure_all_keys():
+    out = with_lattice(lambda w, l, p: sorted(measure_all(w, l, p)))
+    assert out[0] == ["binder", "correlator", "link_energy"]
+
+
+# ----------------------------------------------------------------------
+# checkpointing
+# ----------------------------------------------------------------------
+def test_checkpoint_roundtrip_multirank():
+    out = with_lattice(lambda w, l, p: roundtrip_verify(w, l, p, traj=7))
+    assert all(out.values())
+
+
+def test_checkpoint_save_load_single(tmp_path):
+    p = default_params()
+    lay = setup_layout(0, 1, p)
+    phi = np.arange(np.prod(lay.local_dims), dtype=float).reshape(
+        lay.local_dims)
+    save(lay, phi, str(tmp_path), traj=3)
+    reloaded, traj = load(lay, str(tmp_path))
+    assert traj == 3 and np.array_equal(reloaded, phi)
+
+
+def test_checkpoint_missing_header(tmp_path):
+    lay = setup_layout(0, 1, default_params())
+    with pytest.raises(CheckpointError, match="header"):
+        load(lay, str(tmp_path))
+
+
+def test_checkpoint_version_mismatch(tmp_path):
+    import json
+
+    lay = setup_layout(0, 1, default_params())
+    phi = np.zeros(lay.local_dims)
+    save(lay, phi, str(tmp_path), traj=0)
+    header = json.loads((tmp_path / "header.json").read_text())
+    header["version"] = FORMAT_VERSION + 1
+    (tmp_path / "header.json").write_text(json.dumps(header))
+    with pytest.raises(CheckpointError, match="version"):
+        load(lay, str(tmp_path))
+
+
+def test_checkpoint_geometry_mismatch(tmp_path):
+    lay_small = setup_layout(0, 1, default_params(nx=2, ny=2, nz=2, nt=2))
+    phi = np.zeros(lay_small.local_dims)
+    save(lay_small, phi, str(tmp_path), traj=0)
+    lay_big = setup_layout(0, 1, default_params(nx=4, ny=4, nz=4, nt=4))
+    with pytest.raises(CheckpointError):
+        load(lay_big, str(tmp_path))
+
+
+def test_checkpoint_missing_rank_file(tmp_path):
+    lay = setup_layout(0, 1, default_params())
+    save(lay, np.zeros(lay.local_dims), str(tmp_path), traj=0)
+    (tmp_path / "lat_rank0.npy").unlink()
+    with pytest.raises(CheckpointError, match="missing"):
+        load(lay, str(tmp_path))
