@@ -43,7 +43,18 @@ def load_target(name: str):
 
 
 def build_config(args: argparse.Namespace) -> CompiConfig:
-    """Map parsed CLI flags onto a CompiConfig."""
+    """Map parsed CLI flags onto a CompiConfig.
+
+    Robustness flags use ``getattr`` defaults so a namespace built
+    without them (tests, embedding code) still maps cleanly.
+    """
+    faults = getattr(args, "faults", None) or ""
+    fault_kinds = tuple(f.strip() for f in faults.split(",") if f.strip())
+    from .faults import ALL_FAULT_KINDS
+    unknown = [k for k in fault_kinds if k not in ALL_FAULT_KINDS]
+    if unknown:
+        raise SystemExit(f"unknown fault kind(s): {', '.join(unknown)} "
+                         f"(valid: {', '.join(ALL_FAULT_KINDS)})")
     return CompiConfig(
         seed=args.seed,
         init_nprocs=args.nprocs,
@@ -52,6 +63,8 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
         reduction=not args.no_reduction,
         two_way=not args.one_way,
         framework=not args.no_framework,
+        faults=fault_kinds,
+        fault_seed=getattr(args, "fault_seed", 0),
     )
 
 
@@ -73,6 +86,12 @@ def add_common(p: argparse.ArgumentParser) -> None:
                    help="one-way instrumentation: every rank runs heavy")
     p.add_argument("--no-framework", action="store_true",
                    help="standard concolic testing (fixed focus/nprocs)")
+    p.add_argument("--faults", default="", metavar="KINDS",
+                   help="comma list of fault kinds to inject "
+                        "(delay, drop, corrupt, crash, jitter, "
+                        "solver-timeout)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the deterministic fault streams")
 
 
 def budget_kwargs(args: argparse.Namespace) -> dict:
@@ -102,22 +121,85 @@ def cmd_targets(_args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     """`run` subcommand: one COMPI campaign; nonzero exit when bugs were found."""
+    if args.resume and not args.save_log:
+        raise SystemExit("--resume needs --save-log PATH "
+                         "(the log of the campaign to continue)")
     program = load_target(args.target)
     try:
         from .core import Compi
+        from .core.persist import CampaignLog
 
         config = build_config(args)
-        compi = Compi(program, config)
-        result = compi.run(**budget_kwargs(args))
+        if args.resume:
+            from pathlib import Path
+            if not Path(args.save_log).exists():
+                raise SystemExit(f"no campaign log at {args.save_log}; "
+                                 f"start one with --save-log (no --resume)")
+            compi = Compi.resume(program, args.save_log)
+            log = CampaignLog(args.save_log, mode="a")
+        else:
+            compi = Compi(program, config)
+            log = (CampaignLog(args.save_log,
+                               mode="w" if args.overwrite_log else "x")
+                   if args.save_log else None)
+        if log is not None:
+            try:
+                with log:
+                    result = compi.run(**budget_kwargs(args), log=log)
+            except FileExistsError:
+                raise SystemExit(
+                    f"campaign log {log.path} already exists; pass "
+                    f"--overwrite-log to replace it or --resume to "
+                    f"continue it") from None
+            print(f"campaign log: {log.path}")
+        else:
+            result = compi.run(**budget_kwargs(args))
         print(campaign_summary(result))
-        if args.save_log:
-            from .core.persist import save_campaign
-
-            path = save_campaign(result, args.save_log, config=config)
-            print(f"campaign log: {path}")
         return 0 if not result.unique_bugs() else 1
     finally:
         program.unload()
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """`faults` subcommand: bug reproducibility under a fault matrix."""
+    from .faults import ALL_FAULT_KINDS, FaultCampaign
+
+    if args.list:
+        print(format_table(["kind"], [[k] for k in ALL_FAULT_KINDS],
+                           title="injectable fault kinds"))
+        return 0
+    if not args.log:
+        raise SystemExit("give --log PATH (a campaign log with bugs) "
+                         "or --list")
+    from .core.persist import load_campaign
+
+    bugs = load_campaign(args.log)["bugs"]
+    seen: set = set()
+    unique = [b for b in bugs
+              if b.dedup_key not in seen and not seen.add(b.dedup_key)]
+    if not unique:
+        print("no bugs recorded in this log")
+        return 0
+    kinds = None
+    if args.kinds:
+        kinds = tuple(k.strip() for k in args.kinds.split(",") if k.strip())
+    program = load_target(args.target)
+    try:
+        campaign = FaultCampaign(program, build_config(args),
+                                 seed=args.fault_seed, kinds=kinds)
+        reports = campaign.run(unique)
+    finally:
+        program.unload()
+    headers = ["bug", "baseline"] + list(campaign.kinds) + ["repro rate"]
+    rows = []
+    for bug, rep in zip(unique, reports):
+        label = f"{bug.kind}@{bug.location}" if bug.location else bug.kind
+        cells = [t.cell() for t in rep.trials]
+        rows.append([label] + cells + [f"{100 * rep.reproducibility:.0f}%"])
+    print(format_table(headers, rows,
+                       title=f"{args.target}: bug reproducibility under "
+                             f"faults (seed={args.fault_seed})"))
+    return 0
 
 
 def cmd_replay(args: argparse.Namespace) -> int:
@@ -195,7 +277,12 @@ def main(argv: list[str] | None = None) -> int:
     p_run = sub.add_parser("run", help="run a COMPI campaign")
     add_common(p_run)
     p_run.add_argument("--save-log", default=None, metavar="PATH",
-                       help="persist the campaign as a JSONL log")
+                       help="stream the campaign to a JSONL log (plus a "
+                            "checkpoint sidecar for --resume)")
+    p_run.add_argument("--overwrite-log", action="store_true",
+                       help="allow --save-log to replace an existing file")
+    p_run.add_argument("--resume", action="store_true",
+                       help="continue the campaign recorded at --save-log")
 
     p_cmp = sub.add_parser("compare", help="compare testing variants")
     add_common(p_cmp)
@@ -212,6 +299,16 @@ def main(argv: list[str] | None = None) -> int:
     p_rep.add_argument("--traceback", action="store_true",
                        help="print the full recorded traceback")
 
+    p_flt = sub.add_parser("faults",
+                           help="re-check logged bugs under a fault matrix")
+    add_common(p_flt)
+    p_flt.add_argument("--log", default=None,
+                       help="campaign JSONL log whose bugs to re-check")
+    p_flt.add_argument("--kinds", default=None,
+                       help="comma subset of fault kinds (default: all)")
+    p_flt.add_argument("--list", action="store_true",
+                       help="list the injectable fault kinds and exit")
+
     args = parser.parse_args(argv)
     if args.command == "targets":
         return cmd_targets(args)
@@ -219,6 +316,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_run(args)
     if args.command == "replay":
         return cmd_replay(args)
+    if args.command == "faults":
+        return cmd_faults(args)
     return cmd_compare(args)
 
 

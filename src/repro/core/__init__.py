@@ -3,9 +3,10 @@
 from .compi import BugRecord, CampaignResult, Compi, IterationRecord
 from .config import CompiConfig
 from .conflicts import TestSetup, resolve_setup
-from .runner import (ErrorInfo, KIND_ABORT, KIND_ASSERT, KIND_CRASH, KIND_FPE,
-                     KIND_HANG, KIND_MPI, KIND_SEGFAULT, RunRecord, TestRunner,
-                     classify_run)
+from .runner import (ErrorInfo, KIND_ABORT, KIND_ASSERT, KIND_CRASH,
+                     KIND_DEADLOCK, KIND_FPE, KIND_HANG, KIND_INJECTED,
+                     KIND_MPI, KIND_SEGFAULT, RunRecord, TestRunner,
+                     TransientCampaignError, classify_run, crash_location)
 from .report import campaign_summary, format_table, size_histogram
 from .semantics import (capping_constraints, mpi_semantic_constraints,
                         solver_domains)
@@ -15,9 +16,10 @@ from .testcase import (InputSpec, TestCase, default_testcase, random_testcase,
 __all__ = [
     "BugRecord", "CampaignResult", "Compi", "CompiConfig", "ErrorInfo",
     "InputSpec", "IterationRecord", "KIND_ABORT", "KIND_ASSERT", "KIND_CRASH",
-    "KIND_FPE", "KIND_HANG", "KIND_MPI", "KIND_SEGFAULT", "RunRecord",
-    "TestCase", "TestRunner", "TestSetup", "campaign_summary",
-    "capping_constraints", "classify_run", "default_testcase", "format_table",
+    "KIND_DEADLOCK", "KIND_FPE", "KIND_HANG", "KIND_INJECTED", "KIND_MPI",
+    "KIND_SEGFAULT", "RunRecord", "TestCase", "TestRunner", "TestSetup",
+    "TransientCampaignError", "campaign_summary", "capping_constraints",
+    "classify_run", "crash_location", "default_testcase", "format_table",
     "mpi_semantic_constraints", "random_testcase", "resolve_setup",
     "size_histogram", "solver_domains", "specs_from_module",
 ]

@@ -23,14 +23,18 @@ describes doing for SUSY-HMC's early bugs.
 
 from __future__ import annotations
 
+import dataclasses
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Optional
+from pathlib import Path
+from typing import Any, Optional, Union
 
 import numpy as np
 
 from ..concolic.coverage import CoverageMap
 from ..concolic.trace import TraceResult
+from ..faults import FAULT_SOLVER_TIMEOUT
 from ..instrument.loader import InstrumentedProgram
 from ..search.base import SearchStrategy, StrategyContext
 from ..search.dfs import TwoPhaseDFS
@@ -38,7 +42,7 @@ from ..solver.incremental import solve_incremental
 from ..solver.search import Solver
 from .config import CompiConfig
 from .conflicts import TestSetup, resolve_setup
-from .runner import RunRecord, TestRunner
+from .runner import RunRecord, TestRunner, TransientCampaignError
 from .semantics import (capping_constraints, mpi_semantic_constraints,
                         solver_domains)
 from .testcase import InputSpec, TestCase, random_testcase, specs_from_module
@@ -77,6 +81,12 @@ class IterationRecord:
     negated_site: Optional[int] = None
     focus_log_size: int = 0
     nonfocus_log_avg: float = 0.0
+    #: daemon threads abandoned by this execution (pure-compute hangs)
+    stragglers: int = 0
+    #: the focus trace harvest failed; this was a coverage-only iteration
+    degraded: bool = False
+    #: transient-error retries it took to complete this iteration
+    retries: int = 0
 
 
 @dataclass
@@ -91,6 +101,12 @@ class CampaignResult:
     iterations: list[IterationRecord]
     wall_time: float
     divergences: int = 0
+    #: accumulated abandoned hang threads across the campaign
+    stragglers: int = 0
+    #: iterations that ran coverage-only (trace harvest failed)
+    degraded_iterations: int = 0
+    #: total transient-error retries spent across the campaign
+    retries: int = 0
 
     @property
     def covered(self) -> int:
@@ -148,6 +164,17 @@ class Compi:
         self._caps: dict[str, int] = {}
         self._iteration = 0
         self._restarts = 0
+        #: campaign wall-time accumulated by previous (resumed) sessions
+        self._elapsed_prior = 0.0
+        # solver-timeout fault: a dedicated picklable stream, seeded the
+        # same way the injector seeds its pseudo-rank -2 stream
+        plan = self.runner.fault_plan
+        self._solver_fault_spec = (plan.spec_for(FAULT_SOLVER_TIMEOUT)
+                                   if plan is not None else None)
+        self._solver_fault_rng: Optional[random.Random] = None
+        if self._solver_fault_spec is not None:
+            self._solver_fault_rng = random.Random(
+                (plan.seed * 2_654_435_761 - 2 * 97) & 0x7FFFFFFF)
         initial = TestSetup(nprocs=min(cfg.init_nprocs, cfg.nprocs_cap),
                             focus=cfg.init_focus)
         self._initial_setup = initial
@@ -160,20 +187,32 @@ class Compi:
 
     # ------------------------------------------------------------------
     def run(self, iterations: Optional[int] = None,
-            time_budget: Optional[float] = None) -> CampaignResult:
-        """Run until the iteration count or wall-clock budget is spent."""
+            time_budget: Optional[float] = None,
+            log: Optional[Any] = None) -> CampaignResult:
+        """Run until the iteration count or wall-clock budget is spent.
+
+        ``log``, when given, is an *entered* :class:`~repro.core.persist.
+        CampaignLog`: every iteration streams its record, coverage delta
+        and any bug to the log as it completes, and a pickle checkpoint
+        sidecar is refreshed so a killed campaign can be resumed with
+        :meth:`resume`.  ``time_budget`` counts total campaign time,
+        including time spent by the sessions a resumed campaign continues.
+        """
         if iterations is None and time_budget is None:
             raise ValueError("give an iteration or time budget")
-        start = time.monotonic()
+        start = time.monotonic() - self._elapsed_prior
+        if log is not None and self._iteration == 0:
+            log.write_meta(self.program.name, self.config,
+                           self.program.registry.total_branches)
         done = 0
         while True:
             if iterations is not None and done >= iterations:
                 break
             if time_budget is not None and time.monotonic() - start >= time_budget:
                 break
-            self._one_iteration(start)
+            self._one_iteration(start, log=log)
             done += 1
-        return CampaignResult(
+        result = CampaignResult(
             program_name=self.program.name,
             coverage=self.coverage,
             total_branches=self.program.registry.total_branches,
@@ -182,18 +221,29 @@ class Compi:
             iterations=self.records,
             wall_time=time.monotonic() - start,
             divergences=self.strategy.tree.divergences,
+            stragglers=sum(r.stragglers for r in self.records),
+            degraded_iterations=sum(1 for r in self.records if r.degraded),
+            retries=sum(r.retries for r in self.records),
         )
+        if log is not None:
+            log.write_coverage(result)
+            log.sync()
+        return result
 
     # ------------------------------------------------------------------
-    def _one_iteration(self, campaign_start: float) -> None:
+    def _one_iteration(self, campaign_start: float,
+                       log: Optional[Any] = None) -> None:
         tc = self._next
-        rec = self.runner.run(tc)
+        rec, retries = self._run_with_retries(tc)
+        new_branches = rec.coverage.branches - self.coverage.branches
         self.coverage.merge(rec.coverage)
+        bug: Optional[BugRecord] = None
         if rec.error is not None:
-            self.bugs.append(BugRecord(
+            bug = BugRecord(
                 kind=rec.error.kind, message=rec.error.message,
                 global_rank=rec.error.global_rank, testcase=tc,
-                iteration=self._iteration, location=rec.error.location))
+                iteration=self._iteration, location=rec.error.location)
+            self.bugs.append(bug)
         trace = rec.trace
         if trace is not None:
             for var in trace.vars:
@@ -204,7 +254,7 @@ class Compi:
         nonfocus_avg = (sum(rec.nonfocus_log_sizes) / len(rec.nonfocus_log_sizes)
                         if rec.nonfocus_log_sizes else 0.0)
         next_tc = self._derive_next(tc, trace, rec)
-        self.records.append(IterationRecord(
+        it_rec = IterationRecord(
             iteration=self._iteration, origin=tc.origin,
             nprocs=tc.setup.nprocs, focus=tc.setup.focus,
             path_len=len(trace.path) if trace else 0,
@@ -216,9 +266,33 @@ class Compi:
             negated_site=next_tc.negated_site,
             focus_log_size=rec.focus_log_size,
             nonfocus_log_avg=nonfocus_avg,
-        ))
+            stragglers=rec.job.stragglers,
+            degraded=rec.degraded,
+            retries=retries,
+        )
+        self.records.append(it_rec)
         self._next = next_tc
         self._iteration += 1
+        if log is not None:
+            log.write_iteration(it_rec)
+            log.write_cov_delta(it_rec.iteration, sorted(new_branches))
+            if bug is not None:
+                log.write_bug(bug)
+            self._write_checkpoint(log.path, it_rec.elapsed)
+
+    # ------------------------------------------------------------------
+    def _run_with_retries(self, tc: TestCase) -> tuple[RunRecord, int]:
+        """Run one test, retrying transient harness errors with backoff."""
+        cfg = self.config
+        attempt = 0
+        while True:
+            try:
+                return self.runner.run(tc), attempt
+            except TransientCampaignError:
+                if attempt >= cfg.retry_attempts:
+                    raise
+                time.sleep(cfg.retry_backoff * (2 ** attempt))
+                attempt += 1
 
     # ------------------------------------------------------------------
     def _check_divergence(self, trace: TraceResult) -> None:
@@ -258,10 +332,25 @@ class Compi:
         return random_testcase(self.specs, self._initial_setup, self.rng,
                                caps=self._caps, origin="restart")
 
+    def _solver_timed_out(self) -> bool:
+        """Simulated solver timeout (fault injection), one draw per call."""
+        if self._solver_fault_rng is None:
+            return False
+        return (self._solver_fault_rng.random()
+                < self._solver_fault_spec.probability)
+
     def _derive_next(self, tc: TestCase, trace: Optional[TraceResult],
                      rec: RunRecord) -> TestCase:
         cfg = self.config
+        # one fault draw per iteration, before any data-dependent exit, so
+        # the stream position is a pure function of the iteration count
+        solver_fault = self._solver_timed_out()
         if trace is None or not trace.path:
+            return self._restart()
+        if solver_fault:
+            # the "solver timed out" failure mode: no negation this
+            # iteration; fall back to a restart exactly as if every
+            # candidate had come back infeasible
             return self._restart()
         if rec.error is not None and len(trace.path) <= cfg.trivial_path_threshold:
             # early crash before meaningful symbolic work: redo with random
@@ -301,3 +390,81 @@ class Compi:
             return TestCase(inputs=inputs, setup=setup, origin="negation",
                             negated_site=path[pos].site)
         return self._restart()
+
+    # ------------------------------------------------------------------
+    # crash-safe resume
+    # ------------------------------------------------------------------
+    def _write_checkpoint(self, log_path: Union[str, Path],
+                          elapsed: float) -> None:
+        from .persist import write_checkpoint  # local: persist imports us
+        write_checkpoint(log_path, {
+            "program": self.program.name,
+            "config": dataclasses.asdict(self.config),
+            "iteration": self._iteration,
+            "restarts": self._restarts,
+            "elapsed": elapsed,
+            "coverage": self.coverage,
+            "bugs": self.bugs,
+            "records": self.records,
+            "caps": self._caps,
+            "rng": self.rng,
+            "solver": self.solver,
+            "strategy": self.strategy,
+            "next": self._next,
+            "expect": self._expect,
+            "runner_ewma": self.runner._ewma,
+            "runner_runs": self.runner._runs,
+            "solver_fault_rng": self._solver_fault_rng,
+        })
+
+    @classmethod
+    def resume(cls, program: InstrumentedProgram,
+               log_path: Union[str, Path],
+               config: Optional[CompiConfig] = None,
+               specs: Optional[dict[str, InputSpec]] = None) -> "Compi":
+        """Rebuild a campaign from its log, ready to continue where it died.
+
+        Prefers the pickle checkpoint sidecar (exact state: search tree,
+        solver, RNG streams — the continuation is byte-for-byte the run
+        the uninterrupted campaign would have produced).  Without one it
+        degrades to the JSONL log alone: coverage, bugs, iteration count
+        and elapsed time are restored, but the search restarts from fresh
+        random inputs.
+        """
+        from .persist import load_campaign, load_checkpoint
+        state = load_checkpoint(log_path)
+        if state is not None:
+            cfg = config or CompiConfig.from_dict(state["config"])
+            self = cls(program, cfg, specs=specs)
+            self.coverage = state["coverage"]
+            self.bugs = state["bugs"]
+            self.records = state["records"]
+            self._caps = state["caps"]
+            self.rng = state["rng"]
+            self.solver = state["solver"]
+            self.strategy = state["strategy"]
+            self._next = state["next"]
+            self._expect = state["expect"]
+            self._iteration = state["iteration"]
+            self._restarts = state["restarts"]
+            self._elapsed_prior = state["elapsed"]
+            self.runner._ewma = state["runner_ewma"]
+            self.runner._runs = state["runner_runs"]
+            self._solver_fault_rng = state["solver_fault_rng"]
+            return self
+        # degraded path: JSONL only (e.g. the checkpoint was lost or is
+        # from an incompatible version)
+        data = load_campaign(log_path)
+        if config is None and data["meta"] is not None:
+            config = CompiConfig.from_dict(data["meta"]["config"])
+        self = cls(program, config, specs=specs)
+        for site, outcome in data["cov_branches"]:
+            self.coverage.add_branch(site, outcome)
+        self.bugs = data["bugs"]
+        self.records = data["iterations"]
+        if self.records:
+            self._iteration = max(r.iteration for r in self.records) + 1
+            self._elapsed_prior = max(r.elapsed for r in self.records)
+        # the in-flight test case is unrecoverable from JSONL: restart
+        self._next = self._restart()
+        return self

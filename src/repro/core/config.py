@@ -8,7 +8,7 @@ set reduction on, two-way instrumentation on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 
@@ -55,8 +55,17 @@ class CompiConfig:
     input_max: int = 2 ** 15
 
     # -- budgets & safety -------------------------------------------------
-    #: wall-clock limit for a single test execution (hang detection)
+    #: wall-clock *ceiling* for a single test execution (hang detection);
+    #: with ``adaptive_timeout`` the effective per-test timeout shrinks
+    #: toward an EWMA of observed durations, never exceeding this value
     test_timeout: float = 10.0
+    #: derive the per-test timeout from observed run durations
+    adaptive_timeout: bool = True
+    #: effective timeout = clamp(multiplier * EWMA, floor, test_timeout)
+    timeout_multiplier: float = 10.0
+    timeout_floor: float = 2.0
+    #: EWMA smoothing factor for observed (non-hanging) run durations
+    timeout_ewma_alpha: float = 0.3
     #: solver search-node budget per negation attempt
     solver_node_limit: int = 20_000
     #: restart with random inputs when an erroring execution produced a
@@ -71,9 +80,36 @@ class CompiConfig:
     #: loop exits forever.
     divergence_detection: bool = True
 
+    # -- robustness / resilience ------------------------------------------
+    #: structural deadlock detection via the wait-for graph (vs. relying
+    #: on the watchdog timeout alone)
+    detect_deadlocks: bool = True
+    #: fault kinds to inject during the campaign (see ``repro.faults``);
+    #: empty = no fault injection
+    faults: tuple[str, ...] = ()
+    #: seed for the deterministic fault streams (independent of ``seed``)
+    fault_seed: int = 0
+    #: per-iteration retries on transient internal (harness) errors
+    retry_attempts: int = 2
+    #: base of the exponential backoff between retries, seconds
+    retry_backoff: float = 0.05
+
     def rng_seed(self, salt: int = 0) -> int:
         return (self.seed * 1_000_003 + salt) % (2 ** 31)
 
     def with_(self, **kwargs) -> "CompiConfig":
         """Functional update (used by the ablation benchmarks)."""
         return replace(self, **kwargs)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CompiConfig":
+        """Rebuild a config from a (possibly older) serialized snapshot.
+
+        Unknown keys are dropped and missing ones take their defaults, so
+        logs written by other versions of the tool still load.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        if "faults" in kwargs and kwargs["faults"] is not None:
+            kwargs["faults"] = tuple(kwargs["faults"])
+        return cls(**kwargs)

@@ -5,22 +5,40 @@ each execution and reads it back to drive the next test (§I-A); the tool
 also "logs the derived error-inducing input for further analysis" (§V).
 This module provides the durable form of both: a streaming JSONL log a
 campaign can write as it runs, and a loader that reconstructs enough
-state to analyse or resume reporting offline.
+state to analyse or resume a campaign offline.
+
+Crash safety:
+
+* the log opens in ``"x"`` mode by default — it refuses to clobber an
+  existing file (pass ``mode="w"`` to overwrite, ``mode="a"`` to append
+  for a resumed campaign);
+* writes are flushed per record and ``fsync``'d every ``fsync_every``
+  records and on close, so a killed campaign loses at most the tail;
+* the reader tolerates a truncated *final* line (the one a crash can cut
+  mid-record); a corrupt line anywhere else is still an error.
 
 Format: one JSON object per line, discriminated by ``"type"``:
 
 * ``meta``      — program name, config snapshot, totals
 * ``iteration`` — one IterationRecord
 * ``bug``       — one BugRecord with its error-inducing inputs
+* ``cov``       — newly covered branches this iteration (resume delta)
 * ``coverage``  — final covered branch list (written once at the end)
+
+Exact-state resume additionally uses a pickle checkpoint *sidecar*
+(``<log>.ckpt``, written atomically): the JSONL log is the durable,
+human-readable record, while the checkpoint carries the full mutable
+campaign state (search tree, solver, RNG streams) that JSONL cannot.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import os
+import pickle
 from pathlib import Path
-from typing import Iterator, Optional, TextIO, Union
+from typing import Any, Iterator, Optional, TextIO, Union
 
 from .compi import BugRecord, CampaignResult, IterationRecord
 from .config import CompiConfig
@@ -29,26 +47,52 @@ from .testcase import TestCase
 
 
 class CampaignLog:
-    """Streaming writer for campaign telemetry."""
+    """Streaming writer for campaign telemetry.
 
-    def __init__(self, path: Union[str, Path]):
+    ``mode`` is ``"x"`` (create, refuse to overwrite — the default),
+    ``"w"`` (explicit overwrite) or ``"a"`` (append, for resume).
+    """
+
+    def __init__(self, path: Union[str, Path], mode: str = "x",
+                 fsync_every: int = 32):
+        if mode not in ("x", "w", "a"):
+            raise ValueError(f"mode must be 'x', 'w' or 'a', got {mode!r}")
         self.path = Path(path)
+        self.mode = mode
+        self.fsync_every = max(1, int(fsync_every))
         self._fh: Optional[TextIO] = None
+        self._since_sync = 0
 
     def __enter__(self) -> "CampaignLog":
-        self._fh = self.path.open("w", encoding="utf-8")
+        if self.mode == "x" and self.path.exists():
+            raise FileExistsError(
+                f"campaign log {self.path} already exists; pass mode='w' to "
+                f"overwrite or mode='a' to append (resume)")
+        open_mode = "a" if self.mode == "a" else "w"
+        self._fh = self.path.open(open_mode, encoding="utf-8")
         return self
 
     def __exit__(self, *exc) -> None:
         if self._fh is not None:
+            self.sync()
             self._fh.close()
             self._fh = None
+
+    def sync(self) -> None:
+        """Force the log to disk (flush + fsync)."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._since_sync = 0
 
     def _write(self, obj: dict) -> None:
         if self._fh is None:
             raise RuntimeError("CampaignLog used outside its context")
         self._fh.write(json.dumps(obj, sort_keys=True) + "\n")
         self._fh.flush()
+        self._since_sync += 1
+        if self._since_sync >= self.fsync_every:
+            self.sync()
 
     def write_meta(self, program_name: str, config: CompiConfig,
                    total_branches: int) -> None:
@@ -68,6 +112,14 @@ class CampaignLog:
             "nprocs": bug.testcase.setup.nprocs,
             "focus": bug.testcase.setup.focus,
         })
+
+    def write_cov_delta(self, iteration: int,
+                        new_branches: list[tuple[int, bool]]) -> None:
+        """Branches first covered this iteration (resume without ckpt)."""
+        if new_branches:
+            self._write({"type": "cov", "iteration": iteration,
+                         "branches": sorted([s, int(d)]
+                                            for (s, d) in new_branches)})
 
     def write_coverage(self, result: CampaignResult) -> None:
         self._write({
@@ -93,39 +145,64 @@ class CampaignLog:
 
 
 def save_campaign(result: CampaignResult, path: Union[str, Path],
-                  config: Optional[CompiConfig] = None) -> Path:
+                  config: Optional[CompiConfig] = None,
+                  overwrite: bool = True) -> Path:
     """Write a finished campaign to ``path`` as a JSONL log."""
     path = Path(path)
-    with CampaignLog(path) as log:
+    with CampaignLog(path, mode="w" if overwrite else "x") as log:
         log.write_result(result, config)
     return path
 
 
 def read_records(path: Union[str, Path]) -> Iterator[dict]:
-    """Yield the raw JSON objects of a campaign log, line by line."""
+    """Yield the raw JSON objects of a campaign log, line by line.
+
+    A truncated *final* line (a crash cutting a record in half) is
+    skipped silently; a malformed line anywhere else raises, since that
+    means real corruption rather than an interrupted write.
+    """
     with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+        lines = fh.readlines()
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            yield json.loads(line)
+        except json.JSONDecodeError:
+            if i == last:
+                return  # torn tail from an interrupted write
+            raise
+
+
+def _filtered_kwargs(cls, obj: dict) -> dict:
+    """Keep only the dataclass's known fields (older/newer log tolerance)."""
+    known = {f.name for f in dataclasses.fields(cls)}
+    return {k: v for k, v in obj.items() if k in known}
 
 
 def load_campaign(path: Union[str, Path]) -> dict:
     """Reconstruct a campaign summary from a JSONL log.
 
     Returns a dict with ``meta``, ``iterations`` (IterationRecord list),
-    ``bugs`` (BugRecord list) and ``coverage`` (raw dict).
+    ``bugs`` (BugRecord list), ``coverage`` (raw final dict, if the
+    campaign finished) and ``cov_branches`` (set of (site, outcome)
+    branch pairs accumulated from per-iteration deltas — available even
+    for a log cut off mid-campaign).
     """
     meta: Optional[dict] = None
     iterations: list[IterationRecord] = []
     bugs: list[BugRecord] = []
     coverage: Optional[dict] = None
+    cov_branches: set[tuple[int, bool]] = set()
     for obj in read_records(path):
         kind = obj.pop("type")
         if kind == "meta":
             meta = obj
         elif kind == "iteration":
-            iterations.append(IterationRecord(**obj))
+            iterations.append(IterationRecord(
+                **_filtered_kwargs(IterationRecord, obj)))
         elif kind == "bug":
             tc = TestCase(inputs=obj["inputs"],
                           setup=TestSetup(obj["nprocs"], obj["focus"]))
@@ -133,9 +210,49 @@ def load_campaign(path: Union[str, Path]) -> dict:
                                   global_rank=obj["global_rank"],
                                   testcase=tc, iteration=obj["iteration"],
                                   location=obj.get("location", "")))
+        elif kind == "cov":
+            cov_branches.update((s, bool(d)) for s, d in obj["branches"])
         elif kind == "coverage":
             coverage = obj
+            cov_branches.update((s, bool(d)) for s, d in obj["branches"])
         else:  # pragma: no cover - forward compatibility
             continue
     return {"meta": meta, "iterations": iterations, "bugs": bugs,
-            "coverage": coverage}
+            "coverage": coverage, "cov_branches": cov_branches}
+
+
+# ----------------------------------------------------------------------
+# checkpoint sidecar (exact-state resume)
+
+def checkpoint_path(log_path: Union[str, Path]) -> Path:
+    """The checkpoint sidecar next to a campaign log."""
+    p = Path(log_path)
+    return p.with_name(p.name + ".ckpt")
+
+
+def write_checkpoint(log_path: Union[str, Path], state: dict) -> Path:
+    """Atomically persist campaign state next to the log.
+
+    Written to a temp file then ``os.replace``'d, so a crash mid-write
+    leaves the previous checkpoint intact.
+    """
+    target = checkpoint_path(log_path)
+    tmp = target.with_name(target.name + ".tmp")
+    with tmp.open("wb") as fh:
+        pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, target)
+    return target
+
+
+def load_checkpoint(log_path: Union[str, Path]) -> Optional[dict]:
+    """Load the checkpoint sidecar; ``None`` if absent or unreadable."""
+    target = checkpoint_path(log_path)
+    if not target.exists():
+        return None
+    try:
+        with target.open("rb") as fh:
+            return pickle.load(fh)
+    except Exception:
+        return None  # damaged sidecar: fall back to the JSONL log

@@ -19,7 +19,17 @@ def campaign_summary(result: CampaignResult) -> str:
         f"coverage rate      : {100 * result.coverage_rate:.1f}% of reachable",
         f"unique bugs        : {len(result.unique_bugs())}",
         f"divergences        : {result.divergences}",
+        f"stragglers         : {result.stragglers}",
     ]
+    if result.degraded_iterations:
+        lines.append(f"degraded iterations: {result.degraded_iterations} "
+                     f"(coverage-only; trace harvest failed)")
+    if result.retries:
+        lines.append(f"transient retries  : {result.retries}")
+    if result.stragglers:
+        lines.append(f"WARNING: {result.stragglers} hung rank thread(s) were "
+                     f"abandoned and still hold an OS thread each; a long "
+                     f"campaign accumulating these may exhaust thread limits")
     for b in result.unique_bugs():
         lines.append(f"  bug[{b.kind}] rank {b.global_rank}: {b.message[:90]}")
         lines.append(f"    inputs: {b.testcase.describe()}")

@@ -15,6 +15,7 @@ others), waits (with the hang-detection timeout), then harvests:
 
 from __future__ import annotations
 
+import re
 import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
@@ -22,8 +23,9 @@ from typing import Any, Optional
 from ..concolic.context import sink_scope
 from ..concolic.coverage import CoverageMap, merge_all
 from ..concolic.trace import HeavySink, LightSink, TraceResult
+from ..faults import FaultInjector, FaultPlan, InjectedFault
 from ..instrument.loader import InstrumentedProgram
-from ..mpi.errors import MpiAbort, MpiInternalError
+from ..mpi.errors import MpiAbort, MpiError, MpiInternalError
 from ..mpi.runtime import JobResult, run_job
 from ..targets.cmem import SegfaultError
 from .config import CompiConfig
@@ -37,6 +39,15 @@ KIND_HANG = "hang"
 KIND_ABORT = "abort"
 KIND_MPI = "mpi-error"
 KIND_CRASH = "crash"
+#: a *proven* communication deadlock (wait-for-graph cycle), as opposed
+#: to KIND_HANG which is only "the watchdog expired" (compute loop)
+KIND_DEADLOCK = "deadlock"
+#: an injector-originated failure (fault-injection campaigns only)
+KIND_INJECTED = "injected-fault"
+
+
+class TransientCampaignError(RuntimeError):
+    """A harness-internal failure worth retrying (not a target bug)."""
 
 
 @dataclass(frozen=True)
@@ -53,6 +64,12 @@ class ErrorInfo:
 #: emulated-malloc raise lives in cmem.py, but the *bug* is its caller
 _HELPER_FILES = ("cmem.py",)
 
+#: one frame header of a formatted traceback.  A regex, not a
+#: ``split(", ")``: file paths may themselves contain commas (or
+#: ``", line "`` as a directory name), which a naive split mis-parses.
+_FRAME_RE = re.compile(r'^\s*File "(?P<path>.+)", line (?P<line>\d+),'
+                       r' in (?P<func>.+)$')
+
 
 def crash_location(tb_text: str) -> str:
     """Extract the deepest non-helper frame from a formatted traceback.
@@ -64,16 +81,10 @@ def crash_location(tb_text: str) -> str:
     """
     frames: list[str] = []
     for line in tb_text.splitlines():
-        line = line.strip()
-        if line.startswith("File "):
-            try:
-                path, lineno, func = line.split(", ")
-                frames.append(
-                    f"{path.split('/')[-1].rstrip(chr(34))}:"
-                    f"{lineno.removeprefix('line ')}:"
-                    f"{func.removeprefix('in ')}")
-            except ValueError:
-                continue
+        m = _FRAME_RE.match(line)
+        if m:
+            basename = m.group("path").replace("\\", "/").rsplit("/", 1)[-1]
+            frames.append(f"{basename}:{m.group('line')}:{m.group('func')}")
     for loc in reversed(frames):
         if not any(loc.startswith(h + ":") for h in _HELPER_FILES):
             return loc
@@ -92,6 +103,11 @@ class RunRecord:
     focus_log_size: int = 0
     nonfocus_log_sizes: list[int] = field(default_factory=list)
     wall_time: float = 0.0
+    #: the focus trace harvest failed; coverage/classification are still
+    #: valid but no path is available to drive the next negation
+    degraded: bool = False
+    #: effective per-test timeout used for this run (adaptive or flat)
+    timeout_used: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -100,6 +116,8 @@ class RunRecord:
 
 def classify_exception(exc: BaseException) -> str:
     """Map a Python exception to the paper's error taxonomy."""
+    if isinstance(exc, InjectedFault):
+        return KIND_INJECTED
     if isinstance(exc, AssertionError):
         return KIND_ASSERT
     if isinstance(exc, (SegfaultError, IndexError, MemoryError)):
@@ -115,6 +133,12 @@ def classify_exception(exc: BaseException) -> str:
 
 def classify_run(job: JobResult) -> Optional[ErrorInfo]:
     """Map a job result to the paper's error taxonomy (None = clean)."""
+    if job.deadlock is not None:
+        cycle = job.deadlock.cycle
+        return ErrorInfo(
+            kind=KIND_DEADLOCK,
+            global_rank=cycle[0] if cycle else -1,
+            message=f"communication deadlock: {job.deadlock.describe()}")
     if job.timed_out:
         return ErrorInfo(kind=KIND_HANG, global_rank=-1,
                          message="test exceeded its timeout (hang/infinite loop)")
@@ -141,9 +165,26 @@ class TestRunner:
     #: not a pytest class, despite the name
     __test__ = False
 
-    def __init__(self, program: InstrumentedProgram, config: CompiConfig):
+    def __init__(self, program: InstrumentedProgram, config: CompiConfig,
+                 fault_plan: Optional[FaultPlan] = None):
         self.program = program
         self.config = config
+        if fault_plan is None and config.faults:
+            fault_plan = FaultPlan.from_names(config.faults,
+                                              seed=config.fault_seed)
+        self.fault_plan = fault_plan
+        #: EWMA of completed (non-hanging) run durations; None until the
+        #: first completed run
+        self._ewma: Optional[float] = None
+        self._runs = 0
+
+    def current_timeout(self) -> float:
+        """Effective per-test timeout: adaptive (EWMA-derived) or flat."""
+        cfg = self.config
+        if not cfg.adaptive_timeout or self._ewma is None:
+            return cfg.test_timeout
+        derived = cfg.timeout_multiplier * self._ewma
+        return min(cfg.test_timeout, max(cfg.timeout_floor, derived))
 
     def _make_sinks(self, testcase: TestCase) -> list[Any]:
         cfg = self.config
@@ -167,6 +208,18 @@ class TestRunner:
         return sinks
 
     def run(self, testcase: TestCase) -> RunRecord:
+        try:
+            return self._run(testcase)
+        except (MpiError, InjectedFault):
+            raise  # substrate-level errors carry their own meaning
+        except Exception as exc:
+            # anything else escaping here is a harness defect, not a
+            # target bug: surface it as retryable so a long campaign is
+            # not killed by one glitchy iteration
+            raise TransientCampaignError(
+                f"internal error while running test: {exc!r}") from exc
+
+    def _run(self, testcase: TestCase) -> RunRecord:
         entry = self.program.entry
         inputs = dict(testcase.inputs)
 
@@ -175,15 +228,33 @@ class TestRunner:
             with sink_scope(mpi.sink):
                 return entry(mpi, dict(inputs))
 
+        injector = None
+        if self.fault_plan is not None:
+            # one derived sub-plan per run: deterministic per (seed, run#)
+            injector = FaultInjector(self.fault_plan.derive(self._runs))
+        timeout = self.current_timeout()
         sinks = self._make_sinks(testcase)
         t0 = time.monotonic()
         job = run_job([rank_entry] * testcase.setup.nprocs, sinks=sinks,
-                      timeout=self.config.test_timeout)
+                      timeout=timeout, injector=injector,
+                      detect_deadlocks=self.config.detect_deadlocks)
         wall = time.monotonic() - t0
+        self._runs += 1
+        if not job.timed_out:
+            alpha = self.config.timeout_ewma_alpha
+            self._ewma = (wall if self._ewma is None
+                          else alpha * wall + (1 - alpha) * self._ewma)
 
         focus = testcase.setup.focus
         focus_sink: HeavySink = sinks[focus]
-        trace = focus_sink.result()
+        degraded = False
+        try:
+            trace = focus_sink.result()
+        except Exception:
+            # graceful degradation: a broken trace harvest must not kill
+            # the campaign — record a coverage-only iteration instead
+            trace = None
+            degraded = True
 
         if self.config.framework:
             coverage = merge_all(s.coverage for s in sinks)
@@ -203,4 +274,6 @@ class TestRunner:
             focus_log_size=log_sizes[focus],
             nonfocus_log_sizes=nonfocus,
             wall_time=wall,
+            degraded=degraded,
+            timeout_used=timeout,
         )

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the virtual MPI substrate.
+
+A :class:`FaultPlan` is a seeded, serializable description of which
+faults to inject (message delay/drop/corruption, rank crash at the Nth
+MPI call, slow-rank jitter, simulated solver timeout).  A
+:class:`FaultInjector` executes one plan against one job: every decision
+comes from a per-rank deterministic stream, so two runs with the same
+plan make identical choices regardless of thread scheduling.
+
+:class:`FaultCampaign` re-runs logged error-inducing inputs under a
+matrix of single-fault plans to measure how reproducible each bug is
+when the communication substrate misbehaves.
+"""
+
+from .campaign import FaultCampaign, FaultTrial
+from .injector import FaultInjector, InjectedFault
+from .plan import (ALL_FAULT_KINDS, FAULT_CORRUPT, FAULT_CRASH, FAULT_DELAY,
+                   FAULT_DROP, FAULT_JITTER, FAULT_SOLVER_TIMEOUT, FaultPlan,
+                   FaultSpec)
+
+__all__ = [
+    "ALL_FAULT_KINDS", "FAULT_CORRUPT", "FAULT_CRASH", "FAULT_DELAY",
+    "FAULT_DROP", "FAULT_JITTER", "FAULT_SOLVER_TIMEOUT", "FaultCampaign",
+    "FaultInjector", "FaultPlan", "FaultSpec", "FaultTrial", "InjectedFault",
+]

@@ -1,0 +1,89 @@
+"""Fault campaign: bug reproducibility under a fault matrix.
+
+For each logged error-inducing input, re-run the target once per
+single-fault plan and record whether the original bug still fires, what
+was observed instead (a masked bug, a new injected failure, a clean
+run), and under which plan.  This answers the production question "is
+this bug robustly reproducible, or an artifact of a healthy network?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from .plan import ALL_FAULT_KINDS, FaultPlan
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.compi import BugRecord
+    from ..core.config import CompiConfig
+    from ..instrument.loader import InstrumentedProgram
+
+
+@dataclass(frozen=True)
+class FaultTrial:
+    """One cell of the reproducibility matrix."""
+
+    fault_kind: str            # "baseline" for the fault-free control run
+    reproduced: bool           # did the original bug (kind) fire again?
+    observed_kind: Optional[str]   # what the run classified as (None = clean)
+    observed_location: str = ""
+
+    def cell(self) -> str:
+        if self.reproduced:
+            return "reproduced"
+        return self.observed_kind or "clean"
+
+
+@dataclass
+class FaultReport:
+    """All trials for one bug."""
+
+    bug_kind: str
+    bug_location: str
+    trials: list[FaultTrial] = field(default_factory=list)
+
+    @property
+    def reproducibility(self) -> float:
+        """Fraction of *fault* trials (baseline excluded) that reproduced."""
+        fault_trials = [t for t in self.trials if t.fault_kind != "baseline"]
+        if not fault_trials:
+            return 0.0
+        return sum(t.reproduced for t in fault_trials) / len(fault_trials)
+
+
+class FaultCampaign:
+    """Drives the fault matrix over a set of logged bugs."""
+
+    def __init__(self, program: "InstrumentedProgram", config: "CompiConfig",
+                 seed: int = 0, kinds: Optional[Sequence[str]] = None):
+        self.program = program
+        self.config = config.with_(faults=(), fault_seed=seed)
+        self.seed = seed
+        self.kinds = tuple(kinds or ALL_FAULT_KINDS)
+
+    def _run_once(self, bug: "BugRecord",
+                  plan: Optional[FaultPlan]) -> FaultTrial:
+        from ..core.runner import TestRunner
+
+        runner = TestRunner(self.program, self.config, fault_plan=plan)
+        rec = runner.run(bug.testcase)
+        kind = rec.error.kind if rec.error else None
+        loc = rec.error.location if rec.error else ""
+        reproduced = rec.error is not None and (
+            kind == bug.kind
+            and (not bug.location or loc == bug.location))
+        return FaultTrial(
+            fault_kind=plan.specs[0].kind if plan else "baseline",
+            reproduced=reproduced, observed_kind=kind, observed_location=loc)
+
+    def check_bug(self, bug: "BugRecord") -> FaultReport:
+        """Baseline control plus one trial per fault kind."""
+        report = FaultReport(bug_kind=bug.kind, bug_location=bug.location)
+        report.trials.append(self._run_once(bug, None))
+        for plan in FaultPlan.matrix(self.seed, self.kinds):
+            report.trials.append(self._run_once(bug, plan))
+        return report
+
+    def run(self, bugs: Sequence["BugRecord"]) -> list[FaultReport]:
+        return [self.check_bug(b) for b in bugs]

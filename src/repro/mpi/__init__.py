@@ -23,20 +23,25 @@ from .launch import ProcSet, focus_launch, mpiexec
 from .runtime import Job, JobResult, RankOutcome, run_job
 from .status import (ANY_SOURCE, ANY_TAG, Request, Status, waitall, waitany)
 from .topology import CartComm, cart_create, dims_create
+from .waitgraph import DeadlockInfo, WaitForGraph, detect_deadlock, find_cycle
 
 __all__ = [
     "ANY_SOURCE", "ANY_TAG", "BAND", "BOR", "BXOR", "CartComm",
-    "Communicator", "Job", "JobResult", "LAND", "LOR", "MAX", "MAXLOC",
-    "MIN", "MINLOC", "MpiAbort", "MpiContext", "MpiError",
+    "Communicator", "DeadlockInfo", "Job", "JobResult", "LAND", "LOR", "MAX",
+    "MAXLOC", "MIN", "MINLOC", "MpiAbort", "MpiContext", "MpiError",
     "MpiInternalError", "MpiInvalidRank", "MpiShutdown", "MpiTimeout",
     "ProcSet", "PROD", "RankOutcome", "ReduceOp", "Request", "Status", "SUM",
-    "cart_create", "dims_create", "focus_launch", "mpiexec", "run_job",
-    "run_spmd", "waitall", "waitany",
+    "WaitForGraph", "cart_create", "detect_deadlock", "dims_create",
+    "find_cycle", "focus_launch", "mpiexec", "run_job", "run_spmd", "waitall",
+    "waitany",
 ]
 
 
 def run_spmd(program: Callable[[MpiContext], Optional[int]], size: int,
              timeout: Optional[float] = None,
-             sink_factory: Optional[Callable[[int], Any]] = None) -> JobResult:
+             sink_factory: Optional[Callable[[int], Any]] = None,
+             injector: Optional[Any] = None,
+             detect_deadlocks: bool = True) -> JobResult:
     """Run one SPMD ``program(mpi)`` on ``size`` identical ranks."""
-    return mpiexec([ProcSet(size, program, sink_factory)], timeout=timeout)
+    return mpiexec([ProcSet(size, program, sink_factory)], timeout=timeout,
+                   injector=injector, detect_deadlocks=detect_deadlocks)

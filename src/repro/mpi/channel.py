@@ -9,6 +9,14 @@ ordering per (source, tag) pair — the MPI non-overtaking rule.
 All blocking waits poll the job-wide *stop event* so that a watchdog
 timeout or a crash on a sibling rank unwinds blocked ranks promptly via
 :class:`~repro.mpi.errors.MpiShutdown`.
+
+Two optional collaborators plug in here (both ``None`` in plain runs):
+
+* a :class:`~repro.mpi.waitgraph.WaitForGraph` — indefinite receives
+  register what they wait for, enabling structural deadlock detection;
+* a :class:`~repro.faults.injector.FaultInjector` — ``deposit`` routes
+  through its send hook (delay/drop/corrupt), and both sides count as
+  MPI calls for the crash/jitter fault models.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from typing import Any, Optional
 
 from .errors import MpiShutdown
 from .status import ANY_SOURCE, ANY_TAG, Message, Status
+from .waitgraph import RecvWait, WaitForGraph
 
 # How long a blocked receiver sleeps between stop-event checks.  Small
 # enough that teardown is prompt; the condition variable wakes receivers
@@ -32,15 +41,24 @@ _send_seq = itertools.count()
 class Mailbox:
     """Unbounded mailbox for one receiving rank."""
 
-    def __init__(self, owner_rank: int, stop_event: threading.Event):
+    def __init__(self, owner_rank: int, stop_event: threading.Event,
+                 waitgraph: Optional[WaitForGraph] = None,
+                 injector: Optional[Any] = None):
         self.owner_rank = owner_rank
         self._stop = stop_event
+        self._waitgraph = waitgraph
+        self._injector = injector
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._messages: list[Message] = []
 
     def deposit(self, source: int, tag: int, payload: Any) -> None:
         """Called from the *sender's* thread: enqueue and wake receivers."""
+        if self._injector is not None:
+            payload, deliver = self._injector.on_send(
+                source, self.owner_rank, tag, payload)
+            if not deliver:
+                return
         msg = Message(source=source, tag=tag, payload=payload, seq=next(_send_seq))
         with self._cond:
             self._messages.append(msg)
@@ -76,24 +94,38 @@ class Mailbox:
         timeout raises :class:`TimeoutError` if nothing matched in time —
         used by ``Request.test()`` probes, never by plain ``Recv``.
         """
+        if self._injector is not None:
+            self._injector.on_call(self.owner_rank)
         deadline = None if timeout is None else time.monotonic() + timeout
-        with self._cond:
-            while True:
-                idx = self._match_index(source, tag, tag_range)
-                if idx is not None:
-                    msg = self._messages.pop(idx)
-                    return msg.payload, Status(source=msg.source, tag=msg.tag)
-                if self._stop.is_set():
-                    raise MpiShutdown(
-                        f"rank {self.owner_rank} interrupted while receiving "
-                        f"(source={source}, tag={tag})")
-                if deadline is not None:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        raise TimeoutError("no matching message")
-                    self._cond.wait(min(_POLL_INTERVAL, remaining))
-                else:
-                    self._cond.wait(_POLL_INTERVAL)
+        registered = False
+        try:
+            with self._cond:
+                while True:
+                    idx = self._match_index(source, tag, tag_range)
+                    if idx is not None:
+                        msg = self._messages.pop(idx)
+                        return msg.payload, Status(source=msg.source, tag=msg.tag)
+                    if self._stop.is_set():
+                        raise MpiShutdown(
+                            f"rank {self.owner_rank} interrupted while receiving "
+                            f"(source={source}, tag={tag})")
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            raise TimeoutError("no matching message")
+                        self._cond.wait(min(_POLL_INTERVAL, remaining))
+                    else:
+                        # an indefinite wait: tell the deadlock detector
+                        # what would wake us before going to sleep
+                        if self._waitgraph is not None and not registered:
+                            self._waitgraph.block(self.owner_rank, RecvWait(
+                                rank=self.owner_rank, source=source, tag=tag,
+                                tag_range=tag_range))
+                            registered = True
+                        self._cond.wait(_POLL_INTERVAL)
+        finally:
+            if registered:
+                self._waitgraph.unblock(self.owner_rank)
 
     def probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG,
               tag_range: Optional[tuple[int, int]] = None) -> Optional[Status]:

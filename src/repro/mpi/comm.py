@@ -155,7 +155,8 @@ class Communicator:
         return self.job.collectives.run(
             comm_id=self.comm_id, seq=seq, size=len(self.group),
             local_rank=self._rank, contribution=contribution,
-            combine=combine, op_name=op_name)
+            combine=combine, op_name=op_name,
+            global_rank=self._global_rank, group=self.group)
 
     def Barrier(self) -> None:
         self._collective(None, lambda contribs: None, "Barrier")

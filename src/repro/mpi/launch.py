@@ -38,7 +38,8 @@ class ProcSet:
 
 
 def mpiexec(procsets: list[ProcSet], timeout: Optional[float] = None,
-            grace: float = 2.0) -> JobResult:
+            grace: float = 2.0, injector: Optional[Any] = None,
+            detect_deadlocks: bool = True) -> JobResult:
     """Launch the MPMD job described by ``procsets`` and wait for it."""
     entries: list[Entry] = []
     sinks: list[Any] = []
@@ -49,7 +50,8 @@ def mpiexec(procsets: list[ProcSet], timeout: Optional[float] = None,
             sinks.append(ps.sink_factory(global_rank) if ps.sink_factory else None)
     if not entries:
         raise ValueError("empty launch specification")
-    return run_job(entries, sinks=sinks, timeout=timeout, grace=grace)
+    return run_job(entries, sinks=sinks, timeout=timeout, grace=grace,
+                   injector=injector, detect_deadlocks=detect_deadlocks)
 
 
 def focus_launch(size: int, focus: int, heavy: ProcSet, light: ProcSet,

@@ -9,7 +9,12 @@ the whole job, unwinding ranks blocked in communication via
 The per-test timeout implements the paper's hang/infinite-loop detection:
 COMPI "logs the derived error-inducing input ... if either the program
 returns a non-zero value or fails to complete within the specified
-timeout".
+timeout".  On top of the watchdog, the job maintains a wait-for graph
+(:mod:`~repro.mpi.waitgraph`) over ranks blocked in communication: when
+every live rank is provably stuck, the job is stopped early and the
+result carries a :class:`~repro.mpi.waitgraph.DeadlockInfo` — a *true*
+communication deadlock, distinct from a compute hang that only the
+watchdog can catch.
 """
 
 from __future__ import annotations
@@ -24,18 +29,30 @@ from .channel import Mailbox
 from .collectives import CollectiveEngine
 from .context import MpiContext
 from .errors import MpiAbort, MpiShutdown
+from .waitgraph import DeadlockInfo, WaitForGraph, detect_deadlock
+
+#: how often the monitor loop checks for completion / deadlock
+_MONITOR_POLL = 0.02
 
 
 class Job:
     """Shared state of one running MPI job."""
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, injector: Optional[Any] = None,
+                 detect_deadlocks: bool = True):
         if size < 1:
             raise ValueError(f"job size must be >= 1, got {size}")
         self.size = size
         self.stop_event = threading.Event()
-        self.mailboxes = [Mailbox(r, self.stop_event) for r in range(size)]
-        self.collectives = CollectiveEngine(self.stop_event)
+        self.injector = injector
+        self.waitgraph = WaitForGraph() if detect_deadlocks else None
+        self.deadlock: Optional[DeadlockInfo] = None
+        self.mailboxes = [Mailbox(r, self.stop_event,
+                                  waitgraph=self.waitgraph, injector=injector)
+                          for r in range(size)]
+        self.collectives = CollectiveEngine(self.stop_event,
+                                            waitgraph=self.waitgraph,
+                                            injector=injector)
         self.start_time = time.monotonic()
         self._abort_lock = threading.Lock()
         self.abort_code: Optional[int] = None
@@ -87,10 +104,13 @@ class JobResult:
     abort_code: Optional[int] = None
     abort_origin: Optional[int] = None
     stragglers: int = 0  # threads abandoned after timeout (pure-compute hangs)
+    #: set when the wait-for-graph monitor proved a communication deadlock
+    deadlock: Optional[DeadlockInfo] = None
 
     @property
     def ok(self) -> bool:
-        return (not self.timed_out and self.abort_code is None
+        return (not self.timed_out and self.deadlock is None
+                and self.abort_code is None
                 and all(o.ok for o in self.outcomes))
 
     def first_error(self) -> Optional[RankOutcome]:
@@ -104,7 +124,9 @@ class JobResult:
 def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
             sinks: Optional[list[Any]] = None,
             timeout: Optional[float] = None,
-            grace: float = 2.0) -> JobResult:
+            grace: float = 2.0,
+            injector: Optional[Any] = None,
+            detect_deadlocks: bool = True) -> JobResult:
     """Run one MPMD job: ``entries[r]`` is rank *r*'s entry point.
 
     ``sinks[r]``, when given, is attached to rank *r*'s context (the
@@ -113,9 +135,15 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
     *uninstrumented* pure-compute loops cannot be interrupted from outside
     (instrumented code paths poll the stop event from their branch
     probes); those threads are abandoned as daemon stragglers and counted.
+
+    With ``detect_deadlocks`` (the default), a monitor checks the wait-for
+    graph while waiting: a proven communication deadlock stops the job
+    immediately — long before the watchdog — and is reported via
+    ``JobResult.deadlock``.  ``injector`` attaches a fault injector
+    (:mod:`repro.faults`) to every communication hook point.
     """
     size = len(entries)
-    job = Job(size)
+    job = Job(size, injector=injector, detect_deadlocks=detect_deadlocks)
     outcomes = [RankOutcome(global_rank=r) for r in range(size)]
 
     def runner(rank: int) -> None:
@@ -147,16 +175,27 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
 
     deadline = None if timeout is None else t_start + timeout
     timed_out = False
-    for t in threads:
-        remaining = None if deadline is None else max(0.0, deadline - time.monotonic())
-        t.join(remaining)
-        if t.is_alive():
+    while True:
+        if all(o.finished for o in outcomes):
+            break
+        if deadline is not None and time.monotonic() >= deadline:
             timed_out = True
             break
-    if timed_out:
+        if (job.waitgraph is not None and job.deadlock is None
+                and not job.stop_event.is_set()):
+            info = detect_deadlock(job, outcomes)
+            if info is not None:
+                job.deadlock = info
+                break
+        time.sleep(_MONITOR_POLL)
+
+    if timed_out or job.deadlock is not None:
         job.request_stop()
         for t in threads:
             t.join(grace)
+    else:
+        for t in threads:  # all ranks returned; reap the threads
+            t.join()
     stragglers = sum(1 for t in threads if t.is_alive())
 
     return JobResult(
@@ -167,4 +206,5 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
         abort_code=job.abort_code,
         abort_origin=job.abort_origin,
         stragglers=stragglers,
+        deadlock=job.deadlock,
     )

@@ -1,0 +1,197 @@
+"""Wait-for graph over blocked ranks: structural deadlock detection.
+
+The watchdog timeout can only say "the job did not finish in time" — it
+cannot tell an infinite compute loop from a genuine communication
+deadlock.  This module closes that gap the way MPISE's scheduler does:
+every indefinitely-blocking wait (a ``Recv`` with no timeout, a
+collective rendezvous) registers *what it is waiting for*; when every
+live rank is blocked and none of the registered waits can make progress,
+the job is structurally deadlocked and the rank cycle (e.g. ``0→1→0``)
+is extracted for the bug report.
+
+Key property of the substrate that makes this sound: sends never block
+(eager/buffered protocol).  So if all live ranks are blocked in receives
+or collectives and no pending message or completed rendezvous can wake
+any of them, no future progress is possible — deadlock — regardless of
+whether a cycle exists (a rank waiting on an already-terminated peer is
+an *orphan wait*, equally permanent).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from .status import ANY_SOURCE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .runtime import Job, RankOutcome
+
+
+@dataclass(frozen=True)
+class RecvWait:
+    """A rank blocked in an indefinite receive."""
+
+    rank: int
+    source: int                              # global source rank or ANY_SOURCE
+    tag: int
+    tag_range: Optional[tuple[int, int]] = None
+
+    def describe(self) -> str:
+        src = "ANY_SOURCE" if self.source == ANY_SOURCE else str(self.source)
+        return f"Recv(source={src}, tag={self.tag})"
+
+
+@dataclass(frozen=True)
+class CollectiveWait:
+    """A rank blocked in a collective rendezvous."""
+
+    rank: int
+    op_name: str
+    rendezvous: Any                          # collectives.Rendezvous
+    group: tuple[int, ...]                   # local rank -> global rank
+
+    def describe(self) -> str:
+        return f"collective {self.op_name}"
+
+
+@dataclass(frozen=True)
+class DeadlockInfo:
+    """Diagnosis of a detected communication deadlock."""
+
+    #: rank cycle including the closing repeat, e.g. ``(0, 1, 0)``;
+    #: ``None`` when the deadlock is an orphan wait (no cycle exists,
+    #: e.g. a rank receiving from a peer that already terminated)
+    cycle: Optional[tuple[int, ...]]
+    #: per-rank description of what each blocked rank was waiting for
+    waits: dict[int, str] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if self.cycle:
+            return "cycle " + "→".join(str(r) for r in self.cycle)
+        blocked = ", ".join(f"rank {r}: {w}" for r, w in sorted(self.waits.items()))
+        return f"orphan wait ({blocked})"
+
+
+class WaitForGraph:
+    """Registry of blocked ranks, updated from inside blocking waits.
+
+    ``version`` increments on every block/unblock; the detector uses it
+    to discard a diagnosis computed while the picture was shifting.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._waits: dict[int, Any] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        with self._lock:
+            return self._version
+
+    def block(self, rank: int, wait: Any) -> None:
+        with self._lock:
+            self._waits[rank] = wait
+            self._version += 1
+
+    def unblock(self, rank: int) -> None:
+        with self._lock:
+            if self._waits.pop(rank, None) is not None:
+                self._version += 1
+
+    def snapshot(self) -> tuple[dict[int, Any], int]:
+        with self._lock:
+            return dict(self._waits), self._version
+
+
+def find_cycle(edges: dict[int, set[int]]) -> Optional[list[int]]:
+    """Find any directed cycle; returns it closed (``[0, 1, 0]``) or None."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in edges}
+    parent: dict[int, int] = {}
+
+    for start in sorted(edges):
+        if color[start] != WHITE:
+            continue
+        stack: list[tuple[int, iter]] = [(start, iter(sorted(edges[start])))]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in edges:
+                    continue
+                if color[nxt] == GREY:
+                    # unwind the grey chain from `node` back to `nxt`
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]
+                        cycle.append(cur)
+                    cycle.reverse()
+                    cycle.append(cycle[0])
+                    return cycle
+                if color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(sorted(edges[nxt]))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def detect_deadlock(job: "Job",
+                    outcomes: Sequence["RankOutcome"]) -> Optional[DeadlockInfo]:
+    """Diagnose the job: DeadlockInfo when no live rank can ever progress.
+
+    Conservative by construction: returns ``None`` unless *every* live
+    rank is registered blocked, *no* blocked wait can be satisfied by
+    current state (pending message / completed rendezvous), and the
+    registry did not change while we looked.
+    """
+    graph = job.waitgraph
+    if graph is None or job.stop_event.is_set():
+        # a stopping job's blocked ranks are about to unwind, not deadlocked
+        return None
+    waits, v0 = graph.snapshot()
+    live = [r for r, o in enumerate(outcomes) if not o.finished]
+    if not live or any(r not in waits for r in live):
+        return None  # someone is computing (or already done)
+
+    edges: dict[int, set[int]] = {}
+    details: dict[int, str] = {}
+    for r in live:
+        w = waits[r]
+        if isinstance(w, RecvWait):
+            # a matching message is already queued: the rank will wake
+            if job.mailboxes[r].probe(source=w.source, tag=w.tag,
+                                      tag_range=w.tag_range) is not None:
+                return None
+            if w.source == ANY_SOURCE:
+                targets = {x for x in live if x != r}
+            else:
+                targets = {w.source}
+        elif isinstance(w, CollectiveWait):
+            rv = w.rendezvous
+            with rv._lock:
+                if rv._ready:
+                    return None  # result published: the rank will wake
+                arrived = set(rv._contribs)
+            targets = {w.group[lr] for lr in range(len(w.group))
+                       if lr not in arrived}
+        else:  # pragma: no cover - unknown wait kinds are not diagnosable
+            return None
+        edges[r] = targets
+        details[r] = w.describe()
+
+    if graph.version != v0:
+        return None  # the picture moved under us: not a stable deadlock
+
+    live_edges = {r: {t for t in tgts if t in edges} for r, tgts in edges.items()}
+    cycle = find_cycle(live_edges)
+    return DeadlockInfo(cycle=tuple(cycle) if cycle else None, waits=details)

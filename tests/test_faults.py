@@ -1,0 +1,169 @@
+"""Fault injection: plan semantics, hook behaviour, determinism."""
+
+import pytest
+
+from repro.core import (Compi, CompiConfig, KIND_DEADLOCK, KIND_INJECTED,
+                        TestSetup, classify_run)
+from repro.core.runner import TestRunner
+from repro.core.testcase import TestCase
+from repro.faults import (ALL_FAULT_KINDS, FaultCampaign, FaultInjector,
+                          FaultPlan, FaultSpec, InjectedFault)
+from repro.instrument import instrument_program
+from repro.mpi import run_spmd
+
+
+# ----------------------------------------------------------------------
+# plans
+# ----------------------------------------------------------------------
+def test_plan_roundtrip_and_defaults():
+    plan = FaultPlan.from_names(["drop", "crash"], seed=9)
+    assert plan.kinds() == ("drop", "crash")
+    assert plan.has("drop") and not plan.has("jitter")
+    again = FaultPlan.from_dict(plan.to_dict())
+    assert again == plan
+
+
+def test_plan_rejects_unknown_kind():
+    with pytest.raises(ValueError, match="unknown fault kind"):
+        FaultSpec("cosmic-ray")
+
+
+def test_plan_derive_is_pure():
+    plan = FaultPlan.from_names(["delay"], seed=5)
+    assert plan.derive(3) == plan.derive(3)
+    assert plan.derive(3) != plan.derive(4)
+    assert plan.derive(3).specs == plan.specs  # only the seed moves
+
+
+def test_matrix_one_plan_per_kind():
+    plans = FaultPlan.matrix(seed=1)
+    assert [p.specs[0].kind for p in plans] == list(ALL_FAULT_KINDS)
+    assert all(len(p.specs) == 1 for p in plans)
+
+
+# ----------------------------------------------------------------------
+# injector hooks (via the substrate)
+# ----------------------------------------------------------------------
+def _ring(mpi):
+    mpi.Init()
+    r = mpi.COMM_WORLD.Get_rank()
+    n = mpi.COMM_WORLD.Get_size()
+    mpi.COMM_WORLD.Send(r * 10, dest=(r + 1) % n, tag=1)
+    got, _ = mpi.COMM_WORLD.Recv(source=(r - 1) % n, tag=1)
+    return 0 if got == ((r - 1) % n) * 10 else 1
+
+
+def test_crash_at_nth_call_classifies_injected():
+    plan = FaultPlan(seed=1, specs=(FaultSpec("crash", rank=0, nth_call=2),))
+    res = run_spmd(_ring, size=2, timeout=5, injector=FaultInjector(plan))
+    err = classify_run(res)
+    assert err is not None and err.kind == KIND_INJECTED
+    assert isinstance(res.first_error().error, InjectedFault)
+
+
+def test_certain_drop_starves_the_receiver():
+    plan = FaultPlan(seed=1, specs=(FaultSpec("drop", probability=1.0),))
+    res = run_spmd(_ring, size=2, timeout=5, injector=FaultInjector(plan))
+    err = classify_run(res)
+    # every message vanishes: the ring deadlocks on its receives
+    assert err is not None and err.kind == KIND_DEADLOCK
+
+
+def test_certain_corruption_mutates_payloads():
+    plan = FaultPlan(seed=1, specs=(FaultSpec("corrupt", probability=1.0),))
+    res = run_spmd(_ring, size=2, timeout=5, injector=FaultInjector(plan))
+    assert res.deadlock is None and not res.timed_out
+    # the ring's sanity check sees a value nobody sent
+    assert all(o.exit_code == 1 for o in res.outcomes)
+
+
+def test_no_plan_means_no_interference():
+    res = run_spmd(_ring, size=4, timeout=5)
+    assert res.ok and all(o.exit_code == 0 for o in res.outcomes)
+
+
+def test_injector_streams_are_replayable():
+    """Two injectors from the same plan make identical decisions."""
+    plan = FaultPlan(seed=3, specs=(FaultSpec("drop", probability=0.5),))
+    draws = []
+    for _ in range(2):
+        inj = FaultInjector(plan)
+        draws.append([inj.on_send(0, 1, 0, "m")[1] for _ in range(50)])
+    assert draws[0] == draws[1]
+    assert False in draws[0] and True in draws[0]  # p=0.5 actually fires
+
+
+# ----------------------------------------------------------------------
+# campaign-level determinism
+# ----------------------------------------------------------------------
+def _projection(result):
+    """The deterministic part of an iteration log (no wall-clock times)."""
+    return [(r.iteration, r.origin, r.nprocs, r.focus, r.path_len,
+             r.covered_after, r.error_kind, r.negated_site)
+            for r in result.iterations]
+
+
+@pytest.fixture(scope="module")
+def demo_program():
+    prog = instrument_program(["repro.targets.demo"])
+    yield prog
+    prog.unload()
+
+
+def test_fault_campaign_is_deterministic(demo_program):
+    cfg = CompiConfig(seed=2, init_nprocs=2, nprocs_cap=4, test_timeout=5.0,
+                      faults=("drop", "jitter", "solver-timeout"),
+                      fault_seed=11)
+    runs = [Compi(demo_program, cfg).run(iterations=6) for _ in range(2)]
+    assert _projection(runs[0]) == _projection(runs[1])
+
+
+def test_fault_seed_changes_the_campaign(demo_program):
+    base = CompiConfig(seed=2, init_nprocs=2, nprocs_cap=4, test_timeout=5.0,
+                       faults=("drop",), fault_seed=1)
+    a = Compi(demo_program, base).run(iterations=8)
+    b = Compi(demo_program,
+              base.with_(fault_seed=2)).run(iterations=8)
+    c = Compi(demo_program, base).run(iterations=8)
+    assert _projection(a) == _projection(c)
+    # different fault seed → drops land elsewhere → different log
+    # (statistically certain over 8 iterations with p=0.1 per message)
+    assert _projection(a) != _projection(b) or a.bugs != b.bugs
+
+
+def test_runner_injects_per_run_derived_plans(demo_program):
+    """The same testcase run twice sees different derived sub-plans."""
+    cfg = CompiConfig(seed=1, test_timeout=5.0,
+                      faults=("crash",), fault_seed=4)
+    runner = TestRunner(demo_program, cfg)
+    assert runner.fault_plan is not None
+    tc = TestCase(inputs={"x": 10, "y": 200}, setup=TestSetup(2, 0))
+    runner.run(tc)
+    runner.run(tc)
+    assert runner._runs == 2
+
+
+# ----------------------------------------------------------------------
+# FaultCampaign (bug reproducibility matrix)
+# ----------------------------------------------------------------------
+def test_fault_campaign_reports_matrix():
+    from repro.core.compi import BugRecord
+
+    program = instrument_program(["repro.targets.seq_demo"])
+    try:
+        cfg = CompiConfig(seed=1, test_timeout=5.0)
+        # seq_demo's planted bug: x == 100 asserts (branch 0F)
+        tc = TestCase(inputs={"x": 100, "y": 50}, setup=TestSetup(1, 0))
+        rec = TestRunner(program, cfg).run(tc)
+        assert rec.error is not None
+        bug = BugRecord(kind=rec.error.kind, message=rec.error.message,
+                        global_rank=rec.error.global_rank, testcase=tc,
+                        iteration=0, location=rec.error.location)
+
+        campaign = FaultCampaign(program, cfg, seed=5, kinds=("jitter",))
+        report = campaign.check_bug(bug)
+        assert [t.fault_kind for t in report.trials] == ["baseline", "jitter"]
+        assert report.trials[0].reproduced  # control run must reproduce
+        assert 0.0 <= report.reproducibility <= 1.0
+    finally:
+        program.unload()

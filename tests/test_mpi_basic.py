@@ -89,8 +89,10 @@ def test_timeout_flags_hang():
         if mpi.Comm_rank(mpi.COMM_WORLD) == 0:
             mpi.COMM_WORLD.Recv(source=0, tag=77)  # nobody ever sends
 
-    res = run_spmd(prog, size=1, timeout=0.3)
+    # deadlock detection off: exercise the watchdog fallback path
+    res = run_spmd(prog, size=1, timeout=0.3, detect_deadlocks=False)
     assert res.timed_out
+    assert res.deadlock is None
 
 
 def test_invalid_dest_rank_raises():

@@ -40,7 +40,8 @@ def test_classify_hang():
         mpi.Init()
         mpi.COMM_WORLD.Recv(source=0, tag=1)  # self-wait forever
 
-    job = run_spmd(prog, size=1, timeout=0.3)
+    # with the wait-for graph disabled, only the watchdog can catch this
+    job = run_spmd(prog, size=1, timeout=0.3, detect_deadlocks=False)
     err = classify_run(job)
     assert err is not None and err.kind == KIND_HANG
 
@@ -78,6 +79,22 @@ def test_crash_location_skips_helper_frames():
 
 def test_crash_location_empty_traceback():
     assert crash_location("") == ""
+
+
+def test_crash_location_path_with_commas():
+    # a naive `split(", ")` shears frame headers whose *path* contains
+    # ", " (or even ", line " as a directory name); the regex must not
+    tb = ('Traceback (most recent call last):\n'
+          '  File "/tmp/odd, line 9, dir/solver, v2.py", line 12, in step\n'
+          '    boom()\n')
+    assert crash_location(tb) == "solver, v2.py:12:step"
+
+
+def test_crash_location_windows_separators():
+    tb = ('Traceback (most recent call last):\n'
+          '  File "C:\\work\\targets\\fields.py", line 3, in alloc\n'
+          '    x()\n')
+    assert crash_location(tb) == "fields.py:3:alloc"
 
 
 # ----------------------------------------------------------------------
