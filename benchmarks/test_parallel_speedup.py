@@ -1,0 +1,74 @@
+"""Parallel executor microbenchmark (not a paper artifact).
+
+Records serial vs process-pool executions/sec for a fixed batch of test
+cases — the raw throughput the staged engine's speculation converts into
+campaign speedup.  The speedup ratio is recorded as ``extra_info``
+rather than hard-asserted: single-CPU CI runners cannot show a
+multi-core win, and process-pool overhead can even make the pool slower
+there.  What *is* asserted is the engine's real contract — identical
+outcomes from both executors.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core import CompiConfig, TestSetup, random_testcase
+from repro.core.runner import TestRunner
+from repro.core.testcase import specs_from_module
+from repro.engine import InlineExecutor, ParallelExecutor
+from repro.instrument import instrument_program
+
+BATCH = 6
+WORKERS = 4
+
+
+def _outcome_key(out):
+    return (sorted(out.coverage.branches),
+            out.error.kind if out.error else None)
+
+
+def test_parallel_executor_throughput(benchmark):
+    program = instrument_program(["repro.targets.demo"])
+    try:
+        cfg = CompiConfig(seed=9, init_nprocs=2, nprocs_cap=4,
+                          test_timeout=5.0, workers=WORKERS)
+        specs = specs_from_module(program.modules[program.entry_module])
+        rng = np.random.default_rng(42)
+        setup = TestSetup(nprocs=2, focus=0)
+        tcs = [random_testcase(specs, setup, rng) for _ in range(BATCH)]
+
+        inline = InlineExecutor(TestRunner(program, cfg))
+        t0 = time.perf_counter()
+        serial_out = [p.result() for p in inline.submit_batch(tcs)]
+        serial_time = time.perf_counter() - t0
+
+        pool = ParallelExecutor(program, cfg, TestRunner(program, cfg),
+                                workers=WORKERS)
+        try:
+            # first batch pays the spawn + re-instrumentation cost;
+            # warm up so the benchmark measures steady-state throughput
+            warmup = [p.result() for p in pool.submit_batch(tcs)]
+
+            def batch():
+                return [p.result() for p in pool.submit_batch(tcs)]
+
+            parallel_out = benchmark.pedantic(batch, rounds=3, iterations=1)
+        finally:
+            pool.close()
+
+        # the contract: same outcomes, only the clock differs
+        for s, w, p in zip(serial_out, warmup, parallel_out):
+            assert _outcome_key(s) == _outcome_key(w) == _outcome_key(p)
+
+        parallel_time = benchmark.stats.stats.mean
+        benchmark.extra_info["batch_size"] = BATCH
+        benchmark.extra_info["workers"] = WORKERS
+        benchmark.extra_info["serial_execs_per_sec"] = \
+            round(BATCH / serial_time, 2)
+        benchmark.extra_info["parallel_execs_per_sec"] = \
+            round(BATCH / parallel_time, 2)
+        benchmark.extra_info["speedup_vs_serial"] = \
+            round(serial_time / parallel_time, 2)
+    finally:
+        program.unload()

@@ -65,6 +65,8 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
         framework=not args.no_framework,
         faults=fault_kinds,
         fault_seed=getattr(args, "fault_seed", 0),
+        workers=getattr(args, "workers", 1),
+        speculation_width=getattr(args, "speculation_width", None),
     )
 
 
@@ -92,6 +94,14 @@ def add_common(p: argparse.ArgumentParser) -> None:
                         "solver-timeout)")
     p.add_argument("--fault-seed", type=int, default=0,
                    help="seed for the deterministic fault streams")
+    p.add_argument("--workers", type=int, default=1,
+                   help="candidate tests run concurrently in a process "
+                        "pool; results commit in serial order, so the "
+                        "campaign is identical to --workers 1 "
+                        "(fault injection forces serial)")
+    p.add_argument("--speculation-width", type=int, default=None,
+                   help="speculative candidates per step "
+                        "(default: --workers)")
 
 
 def budget_kwargs(args: argparse.Namespace) -> dict:
@@ -142,18 +152,21 @@ def cmd_run(args: argparse.Namespace) -> int:
             log = (CampaignLog(args.save_log,
                                mode="w" if args.overwrite_log else "x")
                    if args.save_log else None)
-        if log is not None:
-            try:
-                with log:
-                    result = compi.run(**budget_kwargs(args), log=log)
-            except FileExistsError:
-                raise SystemExit(
-                    f"campaign log {log.path} already exists; pass "
-                    f"--overwrite-log to replace it or --resume to "
-                    f"continue it") from None
-            print(f"campaign log: {log.path}")
-        else:
-            result = compi.run(**budget_kwargs(args))
+        try:
+            if log is not None:
+                try:
+                    with log:
+                        result = compi.run(**budget_kwargs(args), log=log)
+                except FileExistsError:
+                    raise SystemExit(
+                        f"campaign log {log.path} already exists; pass "
+                        f"--overwrite-log to replace it or --resume to "
+                        f"continue it") from None
+                print(f"campaign log: {log.path}")
+            else:
+                result = compi.run(**budget_kwargs(args))
+        finally:
+            compi.close()
         print(campaign_summary(result))
         return 0 if not result.unique_bugs() else 1
     finally:

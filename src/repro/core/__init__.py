@@ -8,8 +8,8 @@ from .runner import (ErrorInfo, KIND_ABORT, KIND_ASSERT, KIND_CRASH,
                      KIND_MPI, KIND_SEGFAULT, RunRecord, TestRunner,
                      TransientCampaignError, classify_run, crash_location)
 from .report import campaign_summary, format_table, size_histogram
-from .semantics import (capping_constraints, mpi_semantic_constraints,
-                        solver_domains)
+from .semantics import (capping_constraints, clamp_to_caps,
+                        mpi_semantic_constraints, solver_domains)
 from .testcase import (InputSpec, TestCase, default_testcase, random_testcase,
                        specs_from_module)
 
@@ -19,7 +19,8 @@ __all__ = [
     "KIND_DEADLOCK", "KIND_FPE", "KIND_HANG", "KIND_INJECTED", "KIND_MPI",
     "KIND_SEGFAULT", "RunRecord", "TestCase", "TestRunner", "TestSetup",
     "TransientCampaignError", "campaign_summary", "capping_constraints",
-    "classify_run", "crash_location", "default_testcase", "format_table",
+    "clamp_to_caps", "classify_run", "crash_location", "default_testcase",
+    "format_table",
     "mpi_semantic_constraints", "random_testcase", "resolve_setup",
     "size_histogram", "solver_domains", "specs_from_module",
 ]

@@ -19,33 +19,33 @@ iteration:
 When an execution yields no usable path (e.g. a bug fires before any
 symbolic branch) COMPI restarts from fresh random inputs, as the paper
 describes doing for SUSY-HMC's early bugs.
+
+:class:`Compi` is a façade: the loop itself lives in the staged engine
+(:mod:`repro.engine` — scheduler / executor / collector), which can also
+run ``config.workers`` speculative candidate tests concurrently while
+committing results in serial order.  The campaign dataclasses stay in
+this module so existing pickled checkpoints keep loading.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import random
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
 
 import numpy as np
 
 from ..concolic.coverage import CoverageMap
-from ..concolic.trace import TraceResult
-from ..faults import FAULT_SOLVER_TIMEOUT
 from ..instrument.loader import InstrumentedProgram
-from ..search.base import SearchStrategy, StrategyContext
+from ..search.base import SearchStrategy
 from ..search.dfs import TwoPhaseDFS
-from ..solver.incremental import solve_incremental
+from ..solver.incremental import SolveSession
 from ..solver.search import Solver
 from .config import CompiConfig
-from .conflicts import TestSetup, resolve_setup
-from .runner import RunRecord, TestRunner, TransientCampaignError
-from .semantics import (capping_constraints, mpi_semantic_constraints,
-                        solver_domains)
-from .testcase import InputSpec, TestCase, random_testcase, specs_from_module
+from .conflicts import TestSetup
+from .runner import TestRunner
+from .testcase import InputSpec, TestCase, specs_from_module
 
 
 @dataclass
@@ -140,50 +140,153 @@ class CampaignResult:
 
 
 class Compi:
-    """The testing tool: drives iterative concolic testing of one target."""
+    """The testing tool: drives iterative concolic testing of one target.
+
+    A façade over the staged engine: the **scheduler** (search strategy +
+    incremental solve session), the **executor** (inline, or a process
+    pool when ``config.workers > 1``) and the **collector** (coverage,
+    bugs, records, persistence).  Attribute access mirrors the classic
+    monolithic loop so embedding code, checkpoints and tests written
+    against it keep working unchanged.
+    """
 
     def __init__(self, program: InstrumentedProgram,
                  config: Optional[CompiConfig] = None,
                  strategy: Optional[SearchStrategy] = None,
                  specs: Optional[dict[str, InputSpec]] = None):
+        from ..engine import (CampaignEngine, Collector, Scheduler,
+                              make_executor)  # façade ↔ engine cycle
         self.program = program
         self.config = config or CompiConfig()
         cfg = self.config
         self.specs = specs or specs_from_module(program.modules[program.entry_module])
-        self.rng = np.random.default_rng(cfg.rng_seed(1))
-        self.solver = Solver(rng=np.random.default_rng(cfg.rng_seed(2)),
-                             node_limit=cfg.solver_node_limit)
-        self.strategy = strategy or TwoPhaseDFS(
+        solver = Solver(rng=np.random.default_rng(cfg.rng_seed(2)),
+                        node_limit=cfg.solver_node_limit)
+        strategy = strategy or TwoPhaseDFS(
             observe_iterations=cfg.observe_iterations,
             fixed_bound=cfg.fixed_depth_bound, slack=cfg.bound_slack,
             rng=np.random.default_rng(cfg.rng_seed(3)))
         self.runner = TestRunner(program, cfg)
-        self.coverage = CoverageMap()
-        self.bugs: list[BugRecord] = []
-        self.records: list[IterationRecord] = []
-        self._caps: dict[str, int] = {}
-        self._iteration = 0
-        self._restarts = 0
-        #: campaign wall-time accumulated by previous (resumed) sessions
-        self._elapsed_prior = 0.0
-        # solver-timeout fault: a dedicated picklable stream, seeded the
-        # same way the injector seeds its pseudo-rank -2 stream
-        plan = self.runner.fault_plan
-        self._solver_fault_spec = (plan.spec_for(FAULT_SOLVER_TIMEOUT)
-                                   if plan is not None else None)
-        self._solver_fault_rng: Optional[random.Random] = None
-        if self._solver_fault_spec is not None:
-            self._solver_fault_rng = random.Random(
-                (plan.seed * 2_654_435_761 - 2 * 97) & 0x7FFFFFFF)
         initial = TestSetup(nprocs=min(cfg.init_nprocs, cfg.nprocs_cap),
                             focus=cfg.init_focus)
         self._initial_setup = initial
-        self._next: TestCase = random_testcase(self.specs, initial, self.rng)
-        #: (previous path, negated position) for divergence detection: if
-        #: the next execution does not actually flip the predicted branch
-        #: (common when reduction collapsed a loop), the flip is marked
-        #: tried so DFS makes progress instead of re-negating forever
-        self._expect: Optional[tuple[list, int]] = None
+        self.scheduler = Scheduler(
+            config=cfg, specs=self.specs, strategy=strategy,
+            session=SolveSession(solver),
+            rng=np.random.default_rng(cfg.rng_seed(1)),
+            initial_setup=initial, fault_plan=self.runner.fault_plan)
+        self.collector = Collector(checkpoint=self._write_checkpoint)
+        self.executor = make_executor(program, cfg, self.runner)
+        self.engine = CampaignEngine(program, cfg, self.scheduler,
+                                     self.executor, self.collector,
+                                     self.runner)
+
+    # ------------------------------------------------------------------
+    # classic-loop attribute surface (delegation into the stages)
+    # ------------------------------------------------------------------
+    @property
+    def rng(self) -> np.random.Generator:
+        return self.scheduler.rng
+
+    @rng.setter
+    def rng(self, value: np.random.Generator) -> None:
+        self.scheduler.rng = value
+
+    @property
+    def solver(self) -> Solver:
+        return self.scheduler.session.solver
+
+    @solver.setter
+    def solver(self, value: Solver) -> None:
+        self.scheduler.session.solver = value
+
+    @property
+    def strategy(self) -> SearchStrategy:
+        return self.scheduler.strategy
+
+    @strategy.setter
+    def strategy(self, value: SearchStrategy) -> None:
+        self.scheduler.strategy = value
+
+    @property
+    def coverage(self) -> CoverageMap:
+        return self.collector.coverage
+
+    @coverage.setter
+    def coverage(self, value: CoverageMap) -> None:
+        self.collector.coverage = value
+
+    @property
+    def bugs(self) -> list:
+        return self.collector.bugs
+
+    @bugs.setter
+    def bugs(self, value: list) -> None:
+        self.collector.bugs = value
+
+    @property
+    def records(self) -> list:
+        return self.collector.records
+
+    @records.setter
+    def records(self, value: list) -> None:
+        self.collector.records = value
+
+    @property
+    def _caps(self) -> dict[str, int]:
+        return self.scheduler.caps
+
+    @_caps.setter
+    def _caps(self, value: dict[str, int]) -> None:
+        self.scheduler.caps = value
+
+    @property
+    def _iteration(self) -> int:
+        return self.engine.iteration
+
+    @_iteration.setter
+    def _iteration(self, value: int) -> None:
+        self.engine.iteration = value
+
+    @property
+    def _restarts(self) -> int:
+        return self.scheduler.restarts
+
+    @_restarts.setter
+    def _restarts(self, value: int) -> None:
+        self.scheduler.restarts = value
+
+    @property
+    def _elapsed_prior(self) -> float:
+        return self.engine.elapsed_prior
+
+    @_elapsed_prior.setter
+    def _elapsed_prior(self, value: float) -> None:
+        self.engine.elapsed_prior = value
+
+    @property
+    def _next(self) -> TestCase:
+        return self.scheduler.pending.testcase
+
+    @_next.setter
+    def _next(self, value: TestCase) -> None:
+        self.scheduler.pending.testcase = value
+
+    @property
+    def _expect(self) -> Optional[tuple[list, int]]:
+        return self.scheduler.pending.expect
+
+    @_expect.setter
+    def _expect(self, value: Optional[tuple[list, int]]) -> None:
+        self.scheduler.pending.expect = value
+
+    @property
+    def _solver_fault_rng(self):
+        return self.scheduler.solver_fault_rng
+
+    @_solver_fault_rng.setter
+    def _solver_fault_rng(self, value) -> None:
+        self.scheduler.solver_fault_rng = value
 
     # ------------------------------------------------------------------
     def run(self, iterations: Optional[int] = None,
@@ -198,198 +301,18 @@ class Compi:
         :meth:`resume`.  ``time_budget`` counts total campaign time,
         including time spent by the sessions a resumed campaign continues.
         """
-        if iterations is None and time_budget is None:
-            raise ValueError("give an iteration or time budget")
-        start = time.monotonic() - self._elapsed_prior
-        if log is not None and self._iteration == 0:
-            log.write_meta(self.program.name, self.config,
-                           self.program.registry.total_branches)
-        done = 0
-        while True:
-            if iterations is not None and done >= iterations:
-                break
-            if time_budget is not None and time.monotonic() - start >= time_budget:
-                break
-            self._one_iteration(start, log=log)
-            done += 1
-        result = CampaignResult(
-            program_name=self.program.name,
-            coverage=self.coverage,
-            total_branches=self.program.registry.total_branches,
-            branches_per_function=self.program.registry.branches_per_function(),
-            bugs=self.bugs,
-            iterations=self.records,
-            wall_time=time.monotonic() - start,
-            divergences=self.strategy.tree.divergences,
-            stragglers=sum(r.stragglers for r in self.records),
-            degraded_iterations=sum(1 for r in self.records if r.degraded),
-            retries=sum(r.retries for r in self.records),
-        )
-        if log is not None:
-            log.write_coverage(result)
-            log.sync()
-        return result
+        return self.engine.run(iterations=iterations,
+                               time_budget=time_budget, log=log)
 
-    # ------------------------------------------------------------------
-    def _one_iteration(self, campaign_start: float,
-                       log: Optional[Any] = None) -> None:
-        tc = self._next
-        rec, retries = self._run_with_retries(tc)
-        new_branches = rec.coverage.branches - self.coverage.branches
-        self.coverage.merge(rec.coverage)
-        bug: Optional[BugRecord] = None
-        if rec.error is not None:
-            bug = BugRecord(
-                kind=rec.error.kind, message=rec.error.message,
-                global_rank=rec.error.global_rank, testcase=tc,
-                iteration=self._iteration, location=rec.error.location)
-            self.bugs.append(bug)
-        trace = rec.trace
-        if trace is not None:
-            for var in trace.vars:
-                if var.kind == "input" and var.cap is not None:
-                    self._caps[var.name] = var.cap
-            self._check_divergence(trace)
-            self.strategy.register_execution(trace.path)
-        nonfocus_avg = (sum(rec.nonfocus_log_sizes) / len(rec.nonfocus_log_sizes)
-                        if rec.nonfocus_log_sizes else 0.0)
-        next_tc = self._derive_next(tc, trace, rec)
-        it_rec = IterationRecord(
-            iteration=self._iteration, origin=tc.origin,
-            nprocs=tc.setup.nprocs, focus=tc.setup.focus,
-            path_len=len(trace.path) if trace else 0,
-            event_count=trace.event_count if trace else 0,
-            covered_after=self.coverage.covered_branches,
-            error_kind=rec.error.kind if rec.error else None,
-            wall_time=rec.wall_time,
-            elapsed=time.monotonic() - campaign_start,
-            negated_site=next_tc.negated_site,
-            focus_log_size=rec.focus_log_size,
-            nonfocus_log_avg=nonfocus_avg,
-            stragglers=rec.job.stragglers,
-            degraded=rec.degraded,
-            retries=retries,
-        )
-        self.records.append(it_rec)
-        self._next = next_tc
-        self._iteration += 1
-        if log is not None:
-            log.write_iteration(it_rec)
-            log.write_cov_delta(it_rec.iteration, sorted(new_branches))
-            if bug is not None:
-                log.write_bug(bug)
-            self._write_checkpoint(log.path, it_rec.elapsed)
+    def close(self) -> None:
+        """Release executor resources (the worker pool, if any)."""
+        self.executor.close()
 
-    # ------------------------------------------------------------------
-    def _run_with_retries(self, tc: TestCase) -> tuple[RunRecord, int]:
-        """Run one test, retrying transient harness errors with backoff."""
-        cfg = self.config
-        attempt = 0
-        while True:
-            try:
-                return self.runner.run(tc), attempt
-            except TransientCampaignError:
-                if attempt >= cfg.retry_attempts:
-                    raise
-                time.sleep(cfg.retry_backoff * (2 ** attempt))
-                attempt += 1
+    def __enter__(self) -> "Compi":
+        return self
 
-    # ------------------------------------------------------------------
-    def _check_divergence(self, trace: TraceResult) -> None:
-        """Did the last negation actually flip the predicted branch?
-
-        CREST calls a mismatch a *divergence*.  We mark the attempted flip
-        as tried (infeasible-for-now) so the systematic strategies move on
-        — without this, negating a reduction-collapsed loop-exit
-        constraint reproduces an identical-looking path forever.
-        """
-        if self._expect is None:
-            return
-        old_path, pos = self._expect
-        self._expect = None
-        if not self.config.divergence_detection:
-            return
-        actual = trace.path
-        flipped = (
-            len(actual) > pos
-            and all(a.site == e.site and a.outcome == e.outcome
-                    for a, e in zip(actual[:pos], old_path[:pos]))
-            and actual[pos].site == old_path[pos].site
-            and actual[pos].outcome == (not old_path[pos].outcome)
-        )
-        if not flipped:
-            self.strategy.tree.note_divergence()
-            self.strategy.mark_infeasible(old_path, pos)
-
-    def _restart(self) -> TestCase:
-        # concolic-simplification verdicts are stale after a restart
-        self.strategy.tree.clear_infeasible()
-        self._restarts += 1
-        if self.config.restart_with_defaults and self._restarts % 2 == 1:
-            inputs = {n: s.default for n, s in self.specs.items()}
-            return TestCase(inputs=inputs, setup=self._initial_setup,
-                            origin="restart")
-        return random_testcase(self.specs, self._initial_setup, self.rng,
-                               caps=self._caps, origin="restart")
-
-    def _solver_timed_out(self) -> bool:
-        """Simulated solver timeout (fault injection), one draw per call."""
-        if self._solver_fault_rng is None:
-            return False
-        return (self._solver_fault_rng.random()
-                < self._solver_fault_spec.probability)
-
-    def _derive_next(self, tc: TestCase, trace: Optional[TraceResult],
-                     rec: RunRecord) -> TestCase:
-        cfg = self.config
-        # one fault draw per iteration, before any data-dependent exit, so
-        # the stream position is a pure function of the iteration count
-        solver_fault = self._solver_timed_out()
-        if trace is None or not trace.path:
-            return self._restart()
-        if solver_fault:
-            # the "solver timed out" failure mode: no negation this
-            # iteration; fall back to a restart exactly as if every
-            # candidate had come back infeasible
-            return self._restart()
-        if rec.error is not None and len(trace.path) <= cfg.trivial_path_threshold:
-            # early crash before meaningful symbolic work: redo with random
-            # inputs (the paper's SUSY-HMC workflow)
-            return self._restart()
-
-        path = trace.path
-        semantics = mpi_semantic_constraints(trace, cfg)
-        caps = capping_constraints(trace)
-        bounds = {n: (s.lo, s.hi) for n, s in self.specs.items()}
-        domains = solver_domains(trace, cfg, input_bounds=bounds)
-        ctx = StrategyContext(path=path, coverage=self.coverage,
-                              iteration=self._iteration)
-
-        for pos in self.strategy.propose(ctx):
-            prefix = [pe.constraint for pe in path[:pos]]
-            negated = path[pos].constraint.negated()
-            res = solve_incremental(prefix + semantics + caps, negated,
-                                    domains, previous=dict(trace.values),
-                                    solver=self.solver)
-            if res is None:
-                self.strategy.mark_infeasible(path, pos)
-                continue
-            new_inputs = {name: int(res.assignment[vid])
-                          for name, vid in trace.input_vids.items()}
-            inputs = {**tc.inputs, **new_inputs}
-            # A full-context incremental solver (Yices) would keep every
-            # cap constraint in scope; our dependency slice can drop a
-            # capped variable, letting a stale over-cap value survive.
-            # Clamp to the discovered caps to restore the §IV-A semantics.
-            for name, cap in self._caps.items():
-                if name in inputs and inputs[name] > cap:
-                    inputs[name] = cap
-            setup = resolve_setup(trace, res.assignment, res.changed,
-                                  tc.setup, cfg)
-            self._expect = (path, pos)
-            return TestCase(inputs=inputs, setup=setup, origin="negation",
-                            negated_site=path[pos].site)
-        return self._restart()
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # crash-safe resume
@@ -465,6 +388,9 @@ class Compi:
         if self.records:
             self._iteration = max(r.iteration for r in self.records) + 1
             self._elapsed_prior = max(r.elapsed for r in self.records)
-        # the in-flight test case is unrecoverable from JSONL: restart
-        self._next = self._restart()
+        # The in-flight test case is unrecoverable from JSONL.  Synthesize
+        # a fresh continuation ("resume" origin) — NOT a restart: nothing
+        # has executed since the log's last record, so the restart counter
+        # and the infeasible verdicts must stay untouched.
+        self.scheduler.pending = self.scheduler.resume_candidate()
         return self

@@ -80,6 +80,18 @@ class CompiConfig:
     #: loop exits forever.
     divergence_detection: bool = True
 
+    # -- staged engine: parallel speculative execution ---------------------
+    #: worker processes for the executor stage; 1 = inline (serial,
+    #: bit-for-bit the classic loop).  N > 1 runs speculative candidate
+    #: tests in a process pool; committed results are merged in submission
+    #: order so final coverage and bug sets match the serial engine.
+    workers: int = 1
+    #: candidate negations the scheduler proposes per step (the serial
+    #: next plus ``width - 1`` speculative siblings); ``None`` derives it
+    #: from ``workers``.  Ignored by the inline executor, which evaluates
+    #: candidates lazily and never executes a speculation it would squash.
+    speculation_width: Optional[int] = None
+
     # -- robustness / resilience ------------------------------------------
     #: structural deadlock detection via the wait-for graph (vs. relying
     #: on the watchdog timeout alone)
@@ -96,6 +108,13 @@ class CompiConfig:
 
     def rng_seed(self, salt: int = 0) -> int:
         return (self.seed * 1_000_003 + salt) % (2 ** 31)
+
+    def effective_speculation_width(self) -> int:
+        """Candidates per scheduler step: explicit width, else one per
+        worker (minimum 1 — the serial next is always candidate 0)."""
+        if self.speculation_width is not None:
+            return max(1, self.speculation_width)
+        return max(1, self.workers)
 
     def with_(self, **kwargs) -> "CompiConfig":
         """Functional update (used by the ablation benchmarks)."""

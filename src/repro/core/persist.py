@@ -29,6 +29,13 @@ Exact-state resume additionally uses a pickle checkpoint *sidecar*
 (``<log>.ckpt``, written atomically): the JSONL log is the durable,
 human-readable record, while the checkpoint carries the full mutable
 campaign state (search tree, solver, RNG streams) that JSONL cannot.
+
+The staged engine (:mod:`repro.engine`) drives both through a collector
+hook: iterations commit strictly in serial order under every executor,
+so the log and the checkpoint written after iteration *n* are identical
+whether the test ran inline or speculatively in a worker pool — killing
+a parallel campaign mid-batch and resuming reproduces the uninterrupted
+serial run exactly.
 """
 
 from __future__ import annotations

@@ -186,6 +186,20 @@ class TestRunner:
         derived = cfg.timeout_multiplier * self._ewma
         return min(cfg.test_timeout, max(cfg.timeout_floor, derived))
 
+    def note_external_run(self, wall_time: float, timed_out: bool) -> None:
+        """Fold a run executed elsewhere (a pool worker) into the EWMA.
+
+        The parallel executor runs tests in worker processes, which cannot
+        see this runner's timing state; the engine feeds committed results
+        back in commit order so adaptive timeouts and the run counter stay
+        meaningful (and checkpointable) under any executor.
+        """
+        self._runs += 1
+        if not timed_out:
+            alpha = self.config.timeout_ewma_alpha
+            self._ewma = (wall_time if self._ewma is None
+                          else alpha * wall_time + (1 - alpha) * self._ewma)
+
     def _make_sinks(self, testcase: TestCase) -> list[Any]:
         cfg = self.config
         sinks: list[Any] = []
@@ -207,9 +221,13 @@ class TestRunner:
                                        mark_comm_sizes=cfg.mark_comm_sizes))
         return sinks
 
-    def run(self, testcase: TestCase) -> RunRecord:
+    def run(self, testcase: TestCase,
+            timeout: Optional[float] = None) -> RunRecord:
+        """Run one test.  ``timeout`` overrides the adaptive per-test
+        timeout (the parallel executor pins one value per batch so every
+        speculative sibling sees the same deadline)."""
         try:
-            return self._run(testcase)
+            return self._run(testcase, timeout=timeout)
         except (MpiError, InjectedFault):
             raise  # substrate-level errors carry their own meaning
         except Exception as exc:
@@ -219,7 +237,27 @@ class TestRunner:
             raise TransientCampaignError(
                 f"internal error while running test: {exc!r}") from exc
 
-    def _run(self, testcase: TestCase) -> RunRecord:
+    def run_with_retries(self, testcase: TestCase,
+                         timeout: Optional[float] = None
+                         ) -> tuple[RunRecord, int]:
+        """Run one test, retrying transient harness errors with backoff.
+
+        Returns ``(record, retries_it_took)``.  Used by every executor so
+        serial and pooled execution share one retry policy.
+        """
+        cfg = self.config
+        attempt = 0
+        while True:
+            try:
+                return self.run(testcase, timeout=timeout), attempt
+            except TransientCampaignError:
+                if attempt >= cfg.retry_attempts:
+                    raise
+                time.sleep(cfg.retry_backoff * (2 ** attempt))
+                attempt += 1
+
+    def _run(self, testcase: TestCase,
+             timeout: Optional[float] = None) -> RunRecord:
         entry = self.program.entry
         inputs = dict(testcase.inputs)
 
@@ -232,7 +270,8 @@ class TestRunner:
         if self.fault_plan is not None:
             # one derived sub-plan per run: deterministic per (seed, run#)
             injector = FaultInjector(self.fault_plan.derive(self._runs))
-        timeout = self.current_timeout()
+        if timeout is None:
+            timeout = self.current_timeout()
         sinks = self._make_sinks(testcase)
         t0 = time.monotonic()
         job = run_job([rank_entry] * testcase.setup.nprocs, sinks=sinks,

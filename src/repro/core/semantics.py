@@ -18,7 +18,7 @@ cap ``z0 <= nprocs_cap`` (how the evaluation keeps jobs under 16 ranks).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Mapping, Optional
 
 from ..concolic.expr import (KIND_INPUT, KIND_RC, KIND_RW, KIND_SC, KIND_SW,
                              Constraint, LinearExpr, Var)
@@ -70,6 +70,20 @@ def mpi_semantic_constraints(trace: TraceResult,
         elif y.comm_size is not None:
             out.append(Constraint(v(y).shift(-y.comm_size), "<"))    # y < s_i
     return out
+
+
+def clamp_to_caps(inputs: Mapping[str, int],
+                  caps: Mapping[str, int]) -> dict[str, int]:
+    """Clamp solved inputs back under their discovered caps (§IV-A).
+
+    A full-context incremental solver (Yices) would keep every cap
+    constraint in scope; our dependency slice can drop a capped variable,
+    letting a stale over-cap value survive.  Clamping restores the paper's
+    input-capping semantics.  Used by both the engine scheduler and the
+    legacy serial derivation.
+    """
+    return {name: min(value, caps[name]) if name in caps else value
+            for name, value in inputs.items()}
 
 
 def capping_constraints(trace: TraceResult) -> list[Constraint]:

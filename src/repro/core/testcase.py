@@ -60,7 +60,7 @@ class TestCase:
 
     inputs: dict[str, int]
     setup: TestSetup
-    origin: str = "initial"            # 'initial' | 'negation' | 'restart'
+    origin: str = "initial"  # 'initial' | 'negation' | 'restart' | 'resume'
     negated_site: Optional[int] = None
 
     def describe(self) -> str:

@@ -1,0 +1,19 @@
+"""Staged campaign engine: scheduler / executor / collector.
+
+The classic monolithic testing loop (``repro.core.compi.Compi``) is now
+a thin façade over this package.  See ``docs/ARCHITECTURE.md`` for the
+stage contracts and the determinism model (speculate → verify → squash).
+"""
+
+from .collector import Collector
+from .engine import CampaignEngine
+from .executor import (ExecOutcome, Executor, InlineExecutor,
+                       ParallelExecutor, PendingRun, make_executor,
+                       outcome_from_record)
+from .scheduler import Candidate, Scheduler
+
+__all__ = [
+    "CampaignEngine", "Candidate", "Collector", "ExecOutcome", "Executor",
+    "InlineExecutor", "ParallelExecutor", "PendingRun", "Scheduler",
+    "make_executor", "outcome_from_record",
+]

@@ -1,0 +1,89 @@
+"""Collector stage: coverage merge, bug dedup, records, persistence.
+
+The collector owns the campaign's *accumulated* state — the merged
+coverage map, the bug list, the per-iteration telemetry — and the
+persistence side effects: streaming each committed iteration to the
+campaign log and refreshing the crash-safe checkpoint through a hook.
+
+The checkpoint hook is how resume stays executor-agnostic: the engine
+commits results strictly in submission order under every executor, so
+the checkpoint written after iteration *n* is identical whether the
+execution happened inline or speculatively in a pool worker.  Killing a
+campaign mid-batch therefore loses at most the uncommitted tail, and a
+resume reproduces the uninterrupted run exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..concolic.coverage import CoverageMap
+from ..core.compi import BugRecord, IterationRecord
+from .executor import ExecOutcome
+from .scheduler import Candidate
+
+#: hook signature: (log_path, elapsed_seconds) -> None
+CheckpointHook = Callable[[Any, float], None]
+
+
+class Collector:
+    """Accumulates committed outcomes; streams them to the log."""
+
+    def __init__(self, checkpoint: Optional[CheckpointHook] = None):
+        self.coverage = CoverageMap()
+        self.bugs: list[BugRecord] = []
+        self.records: list[IterationRecord] = []
+        self.checkpoint = checkpoint
+        self.log: Optional[Any] = None  # an *entered* CampaignLog
+
+    # ------------------------------------------------------------------
+    def absorb(self, candidate: Candidate, outcome: ExecOutcome,
+               iteration: int) -> tuple[set, Optional[BugRecord]]:
+        """Merge one committed outcome; returns (new branches, bug)."""
+        new_branches = outcome.coverage.branches - self.coverage.branches
+        self.coverage.merge(outcome.coverage)
+        bug: Optional[BugRecord] = None
+        if outcome.error is not None:
+            err = outcome.error
+            bug = BugRecord(kind=err.kind, message=err.message,
+                            global_rank=err.global_rank,
+                            testcase=candidate.testcase,
+                            iteration=iteration, location=err.location)
+            self.bugs.append(bug)
+        return new_branches, bug
+
+    def build_record(self, candidate: Candidate, outcome: ExecOutcome,
+                     iteration: int, elapsed: float,
+                     negated_site: Optional[int]) -> IterationRecord:
+        tc = candidate.testcase
+        trace = outcome.trace
+        nonfocus = outcome.nonfocus_log_sizes
+        nonfocus_avg = sum(nonfocus) / len(nonfocus) if nonfocus else 0.0
+        return IterationRecord(
+            iteration=iteration, origin=tc.origin,
+            nprocs=tc.setup.nprocs, focus=tc.setup.focus,
+            path_len=len(trace.path) if trace else 0,
+            event_count=trace.event_count if trace else 0,
+            covered_after=self.coverage.covered_branches,
+            error_kind=outcome.error.kind if outcome.error else None,
+            wall_time=outcome.wall_time,
+            elapsed=elapsed,
+            negated_site=negated_site,
+            focus_log_size=outcome.focus_log_size,
+            nonfocus_log_avg=nonfocus_avg,
+            stragglers=outcome.stragglers,
+            degraded=outcome.degraded,
+            retries=outcome.retries,
+        )
+
+    def record(self, it_rec: IterationRecord, new_branches: set,
+               bug: Optional[BugRecord]) -> None:
+        """Append + persist one committed iteration (log, delta, ckpt)."""
+        self.records.append(it_rec)
+        if self.log is not None:
+            self.log.write_iteration(it_rec)
+            self.log.write_cov_delta(it_rec.iteration, sorted(new_branches))
+            if bug is not None:
+                self.log.write_bug(bug)
+            if self.checkpoint is not None:
+                self.checkpoint(self.log.path, it_rec.elapsed)

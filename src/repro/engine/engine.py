@@ -1,0 +1,167 @@
+"""The staged campaign engine: scheduler → executor → collector.
+
+One engine step:
+
+1. the **scheduler** supplies the pending serial candidate plus up to
+   ``width - 1`` speculative siblings (further ranked negations of the
+   same path, pre-solved against a forked solve session);
+2. the **executor** runs the batch — lazily in-process (inline) or
+   concurrently in a worker pool (parallel);
+3. results are consumed strictly in **submission order**.  Committing a
+   result folds it into the collector (coverage, bugs, record, log,
+   checkpoint) and into the scheduler (caps, divergence, tree), then
+   derives the authoritative next serial candidate.  If the next pending
+   batch entry *predicted it exactly* (test-case equality), its
+   already-running execution is adopted — with the authoritative
+   candidate's expectation, since execution is a pure function of the
+   test case; otherwise the remaining batch is **squashed** (cancelled /
+   discarded) and a fresh batch is launched.
+
+Because only verified predictions commit, the committed iteration stream
+— coverage deltas, bug set, per-iteration telemetry, RNG/solver/search
+state — is bit-for-bit identical under every executor and width.  That
+is the determinism contract the CI smoke enforces: ``--workers N`` must
+reproduce the serial engine's final covered-branch set and unique-bug
+set for a fixed seed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Optional
+
+from ..core.compi import CampaignResult
+from ..core.config import CompiConfig
+from ..core.runner import TestRunner
+from ..instrument.loader import InstrumentedProgram
+from .collector import Collector
+from .executor import Executor, PendingRun
+from .scheduler import Candidate, Scheduler
+
+
+class CampaignEngine:
+    """Drives one campaign through the three pluggable stages."""
+
+    def __init__(self, program: InstrumentedProgram, config: CompiConfig,
+                 scheduler: Scheduler, executor: Executor,
+                 collector: Collector, runner: TestRunner):
+        self.program = program
+        self.config = config
+        self.scheduler = scheduler
+        self.executor = executor
+        self.collector = collector
+        self.runner = runner
+        self.iteration = 0
+        #: campaign wall-time accumulated by previous (resumed) sessions
+        self.elapsed_prior = 0.0
+        #: speculative executions adopted without re-running (telemetry)
+        self.speculation_hits = 0
+        #: speculative executions squashed as mispredicted (telemetry)
+        self.speculation_squashes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Candidates per step: 1 unless the executor truly runs them
+        concurrently (inline evaluates lazily, so speculation would only
+        waste solver work)."""
+        if not self.executor.parallel:
+            return 1
+        return self.config.effective_speculation_width()
+
+    # ------------------------------------------------------------------
+    def run(self, iterations: Optional[int] = None,
+            time_budget: Optional[float] = None,
+            log: Optional[Any] = None) -> CampaignResult:
+        """Run until the iteration count or wall-clock budget is spent."""
+        if iterations is None and time_budget is None:
+            raise ValueError("give an iteration or time budget")
+        start = time.monotonic() - self.elapsed_prior
+        col = self.collector
+        col.log = log
+        if log is not None and self.iteration == 0:
+            log.write_meta(self.program.name, self.config,
+                           self.program.registry.total_branches)
+        done = 0
+
+        def budget_left() -> bool:
+            if iterations is not None and done >= iterations:
+                return False
+            if (time_budget is not None
+                    and time.monotonic() - start >= time_budget):
+                return False
+            return True
+
+        batch: list[tuple[Candidate, PendingRun]] = []
+        try:
+            while budget_left():
+                if not batch:
+                    batch = self._launch([self.scheduler.pending])
+                cand, pending = batch.pop(0)
+                outcome = pending.result()
+                self._commit(cand, outcome, start)
+                done += 1
+                nxt = self.scheduler.pending
+                if batch and batch[0][0].testcase == nxt.testcase:
+                    # prediction verified: adopt the running execution,
+                    # but carry the authoritative serial expectation
+                    batch[0] = (nxt, batch[0][1])
+                    self.speculation_hits += 1
+                    continue
+                self._squash(batch)
+                batch = []
+                if budget_left():
+                    spec = self.scheduler.speculate(
+                        cand.testcase, outcome.trace, nxt, self.width - 1,
+                        col.coverage, self.iteration)
+                    batch = self._launch([nxt] + spec)
+        finally:
+            self._squash(batch)
+
+        result = CampaignResult(
+            program_name=self.program.name,
+            coverage=col.coverage,
+            total_branches=self.program.registry.total_branches,
+            branches_per_function=self.program.registry.branches_per_function(),
+            bugs=col.bugs,
+            iterations=col.records,
+            wall_time=time.monotonic() - start,
+            divergences=self.scheduler.strategy.tree.divergences,
+            stragglers=sum(r.stragglers for r in col.records),
+            degraded_iterations=sum(1 for r in col.records if r.degraded),
+            retries=sum(r.retries for r in col.records),
+        )
+        if log is not None:
+            log.write_coverage(result)
+            log.sync()
+        return result
+
+    # ------------------------------------------------------------------
+    def _launch(self,
+                candidates: list[Candidate]) -> list[tuple[Candidate,
+                                                           PendingRun]]:
+        pendings = self.executor.submit_batch(
+            [c.testcase for c in candidates])
+        return list(zip(candidates, pendings))
+
+    def _squash(self, batch: list[tuple[Candidate, PendingRun]]) -> None:
+        for cand, pending in batch:
+            if cand.speculative:
+                self.speculation_squashes += 1
+            pending.cancel()
+
+    def _commit(self, cand: Candidate, outcome, start: float) -> None:
+        """Fold one executed candidate into every stage, in serial order."""
+        sched, col = self.scheduler, self.collector
+        new_branches, bug = col.absorb(cand, outcome, self.iteration)
+        sched.observe(cand.expect, outcome.trace)
+        nxt = sched.advance(cand.testcase, outcome.trace,
+                            outcome.error.kind if outcome.error else None,
+                            col.coverage, self.iteration)
+        sched.pending = nxt
+        it_rec = col.build_record(
+            cand, outcome, self.iteration,
+            elapsed=time.monotonic() - start,
+            negated_site=nxt.testcase.negated_site)
+        self.iteration += 1
+        col.record(it_rec, new_branches, bug)

@@ -1,0 +1,239 @@
+"""Executor stage: how candidate test cases become execution outcomes.
+
+Two implementations of one protocol:
+
+* :class:`InlineExecutor` — evaluates candidates lazily in-process via
+  the campaign's own :class:`~repro.core.runner.TestRunner`.  A pending
+  run executes only when its result is first consumed, so speculation is
+  free: a candidate the engine squashes was never run, and the committed
+  behaviour is bit-for-bit the classic serial loop (same EWMA updates,
+  same fault-stream indices, same everything).
+* :class:`ParallelExecutor` — submits the whole candidate batch to a
+  ``concurrent.futures.ProcessPoolExecutor`` (spawn start method).  Each
+  worker re-instruments the target once (instrumentation is
+  deterministic, so site IDs match the parent's), then runs test cases
+  with the shared retry policy.  Results come back as picklable
+  :class:`ExecOutcome` values and are consumed strictly in submission
+  order; squashed speculations are cancelled (or discarded if already
+  running).  Committed wall times are folded back into the parent
+  runner's EWMA in commit order, keeping adaptive timeouts and the run
+  counter checkpoint-compatible with the inline executor.
+
+The per-batch timeout is pinned at submission time from the runner's
+current EWMA state: workers cannot observe mid-batch EWMA movement, and
+pinning keeps every speculative sibling under the same deadline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import sys
+from concurrent.futures import Future, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol
+
+from ..concolic.coverage import CoverageMap
+from ..concolic.trace import TraceResult
+from ..core.config import CompiConfig
+from ..core.runner import ErrorInfo, RunRecord, TestRunner
+from ..core.testcase import TestCase
+from ..instrument.loader import InstrumentedProgram
+
+
+@dataclass
+class ExecOutcome:
+    """Everything the collector/scheduler need from one execution.
+
+    A picklable projection of :class:`~repro.core.runner.RunRecord`
+    (which drags the full per-rank job result along) — this is what pool
+    workers ship back over the process boundary.
+    """
+
+    testcase: TestCase
+    trace: Optional[TraceResult]
+    coverage: CoverageMap
+    error: Optional[ErrorInfo]
+    focus_log_size: int = 0
+    nonfocus_log_sizes: list[int] = field(default_factory=list)
+    wall_time: float = 0.0
+    degraded: bool = False
+    timeout_used: float = 0.0
+    stragglers: int = 0
+    timed_out: bool = False
+    retries: int = 0
+
+
+def outcome_from_record(rec: RunRecord, retries: int = 0) -> ExecOutcome:
+    """Project a runner record onto the executor-protocol outcome."""
+    return ExecOutcome(
+        testcase=rec.testcase,
+        trace=rec.trace,
+        coverage=rec.coverage,
+        error=rec.error,
+        focus_log_size=rec.focus_log_size,
+        nonfocus_log_sizes=rec.nonfocus_log_sizes,
+        wall_time=rec.wall_time,
+        degraded=rec.degraded,
+        timeout_used=rec.timeout_used,
+        stragglers=rec.job.stragglers,
+        timed_out=rec.job.timed_out,
+        retries=retries,
+    )
+
+
+class PendingRun(Protocol):
+    """One submitted candidate execution, consumed at most once."""
+
+    def result(self) -> ExecOutcome: ...
+
+    def cancel(self) -> None: ...
+
+
+class Executor(Protocol):
+    """The executor stage of the staged campaign engine."""
+
+    #: True when submitted siblings actually run concurrently (the engine
+    #: only pays for speculative solving when this is set)
+    parallel: bool
+
+    def submit_batch(self, testcases: list[TestCase]) -> list[PendingRun]: ...
+
+    def close(self) -> None: ...
+
+
+# ----------------------------------------------------------------------
+# inline (serial) executor
+# ----------------------------------------------------------------------
+class _LazyPending:
+    """Runs the test on first ``result()``; cancelling costs nothing."""
+
+    def __init__(self, thunk: Callable[[], ExecOutcome]):
+        self._thunk = thunk
+        self._outcome: Optional[ExecOutcome] = None
+
+    def result(self) -> ExecOutcome:
+        if self._outcome is None:
+            self._outcome = self._thunk()
+        return self._outcome
+
+    def cancel(self) -> None:
+        pass  # never started
+
+
+class InlineExecutor:
+    """Serial executor: the classic loop's behaviour, candidate by
+    candidate, with lazy evaluation so squashed speculation is free."""
+
+    parallel = False
+
+    def __init__(self, runner: TestRunner):
+        self.runner = runner
+
+    def submit_batch(self, testcases: list[TestCase]) -> list[PendingRun]:
+        def thunk(tc: TestCase) -> Callable[[], ExecOutcome]:
+            def run() -> ExecOutcome:
+                rec, retries = self.runner.run_with_retries(tc)
+                return outcome_from_record(rec, retries)
+            return run
+        return [_LazyPending(thunk(tc)) for tc in testcases]
+
+    def close(self) -> None:
+        pass
+
+
+# ----------------------------------------------------------------------
+# process-pool executor
+# ----------------------------------------------------------------------
+class _PoolPending:
+    """A pool future plus commit-order bookkeeping on consumption."""
+
+    def __init__(self, future: Future, note: Callable[[ExecOutcome], None]):
+        self._future = future
+        self._note = note
+        self._outcome: Optional[ExecOutcome] = None
+
+    def result(self) -> ExecOutcome:
+        if self._outcome is None:
+            self._outcome = self._future.result()
+            self._note(self._outcome)
+        return self._outcome
+
+    def cancel(self) -> None:
+        # a running speculation cannot be interrupted; it finishes in its
+        # worker and the result is simply never consumed
+        self._future.cancel()
+
+
+class ParallelExecutor:
+    """Process-pool executor for speculative candidate batches.
+
+    The pool uses the ``spawn`` start method: the parent runs target
+    ranks on threads, and forking a thread-heavy interpreter is a
+    deadlock lottery.  Workers bootstrap from the parent's ``sys.path``
+    and re-instrument the target by module name in their initializer.
+
+    Fault-injection campaigns never get this executor (the façade forces
+    inline): fault streams are indexed by the global run number, which
+    squashed speculation would perturb.
+    """
+
+    parallel = True
+
+    def __init__(self, program: InstrumentedProgram, config: CompiConfig,
+                 runner: TestRunner, workers: int):
+        self.config = config
+        self.runner = runner
+        self.workers = max(1, int(workers))
+        self._pool: Optional[ProcessPoolExecutor] = None
+        # everything a worker needs to rebuild the program: module names
+        # in instrumentation order, plus the entry coordinates
+        cfg_dict = dataclasses.asdict(config)
+        cfg_dict["faults"] = ()          # run-indexed streams: serial only
+        cfg_dict["workers"] = 1          # no nested pools
+        self._init_args = (
+            list(sys.path),
+            list(program.modules),
+            program.entry_module,
+            program.entry_name,
+            program.name,
+            cfg_dict,
+        )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            from .worker import worker_init
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("spawn"),
+                initializer=worker_init,
+                initargs=self._init_args,
+            )
+        return self._pool
+
+    def _note(self, outcome: ExecOutcome) -> None:
+        self.runner.note_external_run(outcome.wall_time, outcome.timed_out)
+
+    def submit_batch(self, testcases: list[TestCase]) -> list[PendingRun]:
+        from .worker import worker_run
+        pool = self._ensure_pool()
+        timeout = self.runner.current_timeout()
+        return [_PoolPending(pool.submit(worker_run, tc, timeout), self._note)
+                for tc in testcases]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def make_executor(program: InstrumentedProgram, config: CompiConfig,
+                  runner: TestRunner) -> Executor:
+    """Pick the executor for one campaign.
+
+    Parallel execution requires ``workers > 1`` and no fault injection
+    (fault streams are run-number-indexed; see :mod:`repro.faults.plan`).
+    """
+    if config.workers > 1 and not config.faults:
+        return ParallelExecutor(program, config, runner, config.workers)
+    return InlineExecutor(runner)

@@ -1,0 +1,47 @@
+"""Pool-worker side of the parallel executor.
+
+Each spawned worker process re-instruments the target program once (in
+:func:`worker_init`) and then serves :func:`worker_run` tasks.  The
+instrumentation pass is deterministic for a fixed module list, so the
+worker's site IDs, branch numbering and input marking are identical to
+the parent's — coverage sets and traces shipped back merge cleanly.
+
+Workers always run with fault injection disabled and ``workers = 1``
+(the façade never routes fault campaigns here, and nested pools would be
+pathological); the per-test timeout is pinned by the submitting batch.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from ..core.config import CompiConfig
+from ..core.runner import TestRunner
+from ..core.testcase import TestCase
+from .executor import ExecOutcome, outcome_from_record
+
+#: per-process singleton runner, built by :func:`worker_init`
+_RUNNER: Optional[TestRunner] = None
+
+
+def worker_init(parent_sys_path: list[str], module_names: list[str],
+                entry_module: str, entry_name: str, program_name: str,
+                config_dict: dict) -> None:
+    """Initializer: mirror the parent's import surface, then instrument."""
+    global _RUNNER
+    for p in reversed(parent_sys_path):
+        if p not in sys.path:
+            sys.path.insert(0, p)
+    from ..instrument.loader import instrument_program
+    program = instrument_program(module_names, entry_module=entry_module,
+                                 entry_name=entry_name, name=program_name)
+    _RUNNER = TestRunner(program, CompiConfig.from_dict(config_dict))
+
+
+def worker_run(testcase: TestCase, timeout: float) -> ExecOutcome:
+    """Run one candidate test case under the pinned batch timeout."""
+    if _RUNNER is None:  # pragma: no cover - initializer always ran
+        raise RuntimeError("worker_init was not called in this process")
+    rec, retries = _RUNNER.run_with_retries(testcase, timeout=timeout)
+    return outcome_from_record(rec, retries)

@@ -16,6 +16,7 @@ previous model, reporting exactly which variables changed.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -96,3 +97,33 @@ def solve_incremental(constraints: list[Constraint], negated: Constraint,
     changed = {v for v, val in model.items() if previous.get(v) != val}
     return IncrementalResult(assignment=assignment, changed=changed,
                              slice_size=len(sliced))
+
+
+class SolveSession:
+    """A sequence of incremental solves over one (stateful) solver.
+
+    The solver draws from an RNG stream, so *who* solves *what* in *which
+    order* is part of the campaign's deterministic identity.  The engine
+    scheduler therefore funnels every committed (serial) negation through
+    one long-lived session, and gives each speculative batch a
+    :meth:`fork` — a deep-copied solver whose draws cannot perturb the
+    committed stream.  A forked session is reused across the whole batch
+    (one snapshot per batch, not per candidate), which is what makes
+    k-wide speculation cheap enough to schedule every step.
+    """
+
+    def __init__(self, solver: Optional[Solver] = None):
+        self.solver = solver or Solver()
+        self.solves = 0
+
+    def solve(self, constraints: list[Constraint], negated: Constraint,
+              domains: Box,
+              previous: dict[int, int]) -> Optional[IncrementalResult]:
+        self.solves += 1
+        return solve_incremental(constraints, negated, domains,
+                                 previous=previous, solver=self.solver)
+
+    def fork(self) -> "SolveSession":
+        """An independent session whose solver state (RNG position, node
+        budget) is a snapshot of this one — speculation runs here."""
+        return SolveSession(copy.deepcopy(self.solver))

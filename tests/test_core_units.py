@@ -6,10 +6,10 @@ import pytest
 from repro.concolic.expr import KIND_INPUT, KIND_RC, KIND_RW, KIND_SW, Var
 from repro.concolic.trace import TraceResult
 from repro.concolic.coverage import CoverageMap
-from repro.core import (CompiConfig, capping_constraints, format_table,
-                        mpi_semantic_constraints, random_testcase,
-                        resolve_setup, size_histogram, solver_domains,
-                        specs_from_module)
+from repro.core import (CompiConfig, capping_constraints, clamp_to_caps,
+                        format_table, mpi_semantic_constraints,
+                        random_testcase, resolve_setup, size_histogram,
+                        solver_domains, specs_from_module)
 from repro.core import TestSetup as TestSetup  # noqa: PLC0414
 from repro.core.testcase import InputSpec, default_testcase
 from repro.core.testcase import TestCase as TestCase  # noqa: PLC0414
@@ -58,6 +58,16 @@ def test_semantics_rc_bounds_use_concrete_comm_size():
 
 def test_semantics_empty_trace_no_constraints():
     assert mpi_semantic_constraints(make_trace([]), CompiConfig()) == []
+
+
+def test_clamp_to_caps_clamps_only_capped_over_cap_inputs():
+    caps = {"n": 10, "m": 5}
+    inputs = {"n": 99, "m": 3, "k": 1000}
+    assert clamp_to_caps(inputs, caps) == {"n": 10, "m": 3, "k": 1000}
+    # no caps: identity copy, and the original is never mutated
+    assert clamp_to_caps(inputs, {}) == inputs
+    assert inputs["n"] == 99
+    assert clamp_to_caps({}, caps) == {}
 
 
 def test_capping_constraints_only_for_capped_inputs():

@@ -1,0 +1,175 @@
+"""Staged engine: parallel determinism, executor selection, mid-batch
+kill + resume.
+
+The engine's contract (docs/ARCHITECTURE.md): for a fixed seed the
+committed iteration stream is bit-for-bit identical under every executor
+and speculation width — parallelism changes wall-clock time and nothing
+else.  These tests pin that with full per-iteration projections, not
+just final tallies.
+"""
+
+import pytest
+
+from repro.core import Compi, CompiConfig
+from repro.core.persist import CampaignLog
+from repro.engine import InlineExecutor, ParallelExecutor, make_executor
+from repro.instrument import instrument_program
+
+
+@pytest.fixture(scope="module")
+def demo_program():
+    prog = instrument_program(["repro.targets.demo"])
+    yield prog
+    prog.unload()
+
+
+@pytest.fixture(scope="module")
+def seq_program():
+    prog = instrument_program(["repro.targets.seq_demo"])
+    yield prog
+    prog.unload()
+
+
+def _cfg(**kw):
+    base = dict(seed=7, init_nprocs=2, nprocs_cap=4, test_timeout=5.0)
+    base.update(kw)
+    return CompiConfig(**base)
+
+
+def _proj(result):
+    return [(r.iteration, r.origin, r.nprocs, r.path_len, r.covered_after,
+             r.error_kind, r.negated_site) for r in result.iterations]
+
+
+def _keys(result):
+    return {b.dedup_key for b in result.bugs}
+
+
+# ----------------------------------------------------------------------
+# executor selection
+# ----------------------------------------------------------------------
+def test_make_executor_selects_by_workers(demo_program):
+    from repro.core.runner import TestRunner
+
+    serial_cfg = _cfg()
+    runner = TestRunner(demo_program, serial_cfg)
+    assert isinstance(make_executor(demo_program, serial_cfg, runner),
+                      InlineExecutor)
+
+    par_cfg = _cfg(workers=2)
+    ex = make_executor(demo_program, par_cfg,
+                       TestRunner(demo_program, par_cfg))
+    try:
+        assert isinstance(ex, ParallelExecutor)
+    finally:
+        ex.close()
+
+
+def test_faults_force_the_inline_executor(demo_program):
+    """Fault streams are run-number-indexed: squashed speculation would
+    shift them, so workers>1 + faults must fall back to inline."""
+    cfg = _cfg(workers=4, faults=("jitter",), fault_seed=5)
+    compi = Compi(demo_program, cfg)
+    try:
+        assert isinstance(compi.executor, InlineExecutor)
+        assert not compi.executor.parallel
+        assert compi.engine.width == 1
+    finally:
+        compi.close()
+
+
+def test_speculation_width_defaults_to_workers():
+    assert _cfg(workers=3).effective_speculation_width() == 3
+    assert _cfg(workers=3, speculation_width=1) \
+        .effective_speculation_width() == 1
+    assert _cfg().effective_speculation_width() == 1
+
+
+# ----------------------------------------------------------------------
+# parallel == serial, bit for bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("target", ["demo_program", "seq_program"])
+def test_parallel_campaign_matches_serial(target, request):
+    program = request.getfixturevalue(target)
+
+    serial = Compi(program, _cfg())
+    rs = serial.run(iterations=10)
+    serial.close()
+
+    par = Compi(program, _cfg(workers=2))
+    try:
+        assert par.executor.parallel
+        rp = par.run(iterations=10)
+    finally:
+        par.close()
+
+    assert _proj(rs) == _proj(rp)
+    assert rs.coverage.branches == rp.coverage.branches
+    assert _keys(rs) == _keys(rp)
+    assert rs.divergences == rp.divergences
+
+
+def test_wide_speculation_still_matches_serial(seq_program):
+    """Width beyond the worker count exercises deeper squashing."""
+    serial = Compi(seq_program, _cfg())
+    rs = serial.run(iterations=8)
+    serial.close()
+
+    par = Compi(seq_program, _cfg(workers=2, speculation_width=4))
+    try:
+        rp = par.run(iterations=8)
+    finally:
+        par.close()
+
+    assert _proj(rs) == _proj(rp)
+    assert rs.coverage.branches == rp.coverage.branches
+    assert _keys(rs) == _keys(rp)
+
+
+# ----------------------------------------------------------------------
+# kill mid-batch, resume (satellite: checkpoint under ParallelExecutor)
+# ----------------------------------------------------------------------
+def test_kill_mid_batch_parallel_resume_matches_serial(seq_program,
+                                                       tmp_path):
+    """Checkpoint a parallel campaign partway (speculative work still in
+    flight is squashed, i.e. lost, exactly as a kill would lose it),
+    resume in parallel, and land on the uninterrupted serial reference."""
+    reference = Compi(seq_program, _cfg())
+    ref = reference.run(iterations=12)
+    reference.close()
+
+    part_log = tmp_path / "part.jsonl"
+    first = Compi(seq_program, _cfg(workers=2))
+    try:
+        with CampaignLog(part_log) as log:
+            first.run(iterations=5, log=log)
+    finally:
+        first.close()
+
+    resumed_c = Compi.resume(seq_program, part_log)
+    assert resumed_c._iteration == 5
+    assert resumed_c.executor.parallel  # checkpointed config had workers=2
+    try:
+        with CampaignLog(part_log, mode="a") as log:
+            resumed = resumed_c.run(iterations=7, log=log)
+    finally:
+        resumed_c.close()
+
+    assert _proj(resumed) == _proj(ref)
+    assert resumed.coverage.branches == ref.coverage.branches
+    assert _keys(resumed) == _keys(ref)
+
+
+# ----------------------------------------------------------------------
+# engine telemetry
+# ----------------------------------------------------------------------
+def test_speculation_telemetry_accounts_for_every_candidate(seq_program):
+    compi = Compi(seq_program, _cfg(workers=2))
+    try:
+        compi.run(iterations=10)
+        eng = compi.engine
+        assert eng.speculation_hits + eng.speculation_squashes >= 0
+        # every committed iteration was the authoritative serial one
+        assert eng.iteration == 10
+    finally:
+        compi.close()

@@ -129,6 +129,23 @@ def test_resume_without_checkpoint_falls_back_to_jsonl(seq_program, tmp_path):
     assert len(result.iterations) == 8
 
 
+def test_jsonl_fallback_resume_is_not_a_restart(seq_program, tmp_path):
+    """The degraded resume synthesizes a continuation test case: it must
+    not inflate the restart counter or clear infeasible verdicts the way
+    a genuine mid-campaign restart does."""
+    p = tmp_path / "c.jsonl"
+    with CampaignLog(p) as log:
+        Compi(seq_program, CFG).run(iterations=6, log=log)
+    checkpoint_path(p).unlink()
+
+    resumed = Compi.resume(seq_program, p)
+    assert resumed._restarts == 0
+    assert resumed._next.origin == "resume"
+    # the synthesized continuation is runnable
+    result = resumed.run(iterations=1)
+    assert result.iterations[-1].origin == "resume"
+
+
 def test_resume_tolerates_torn_tail(seq_program, tmp_path):
     p = tmp_path / "c.jsonl"
     with CampaignLog(p) as log:
