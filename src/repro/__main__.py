@@ -67,6 +67,8 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
         fault_seed=getattr(args, "fault_seed", 0),
         workers=getattr(args, "workers", 1),
         speculation_width=getattr(args, "speculation_width", None),
+        solver_cache=getattr(args, "solver_cache", True),
+        solver_cache_path=getattr(args, "solver_cache_path", None),
     )
 
 
@@ -102,6 +104,13 @@ def add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--speculation-width", type=int, default=None,
                    help="speculative candidates per step "
                         "(default: --workers)")
+    p.add_argument("--solver-cache", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="counterexample cache between the solve session "
+                        "and the solver (--no-solver-cache disables)")
+    p.add_argument("--solver-cache-path", default=None, metavar="PATH",
+                   help="JSONL disk tier for the solver cache; persists "
+                        "verdicts across --resume and campaigns")
 
 
 def budget_kwargs(args: argparse.Namespace) -> dict:
@@ -252,6 +261,36 @@ def cmd_replay(args: argparse.Namespace) -> int:
         program.unload()
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """`cache` subcommand: inspect a solver-cache disk tier."""
+    from pathlib import Path
+
+    from .solvercache import CounterexampleCache
+
+    if args.action == "stats":
+        path = Path(args.path)
+        if not path.exists():
+            raise SystemExit(f"no solver-cache tier at {path}")
+        cache = CounterexampleCache(capacity=2 ** 31, path=path)
+        sat = cache.sat_entries
+        unsat = cache.unsat_entries
+        rows = [
+            ["entries", len(cache)],
+            ["sat models", sat],
+            ["unsat verdicts", unsat],
+            ["file size (bytes)", path.stat().st_size],
+        ]
+        print(format_table(["metric", "value"], rows,
+                           title=f"solver cache tier: {path}"))
+        return 0
+    path = Path(args.path)
+    if not path.exists():
+        raise SystemExit(f"no solver-cache tier at {path}")
+    path.unlink()
+    print(f"cleared solver cache tier {path}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """`compare` subcommand: run several variants with a common denominator."""
     names = [v.strip() for v in args.variants.split(",") if v.strip()]
@@ -322,6 +361,13 @@ def main(argv: list[str] | None = None) -> int:
     p_flt.add_argument("--list", action="store_true",
                        help="list the injectable fault kinds and exit")
 
+    p_cache = sub.add_parser("cache",
+                             help="inspect the solver-cache disk tier")
+    p_cache.add_argument("action", choices=("stats", "clear"),
+                         help="stats: summarize a tier; clear: delete it")
+    p_cache.add_argument("--path", required=True,
+                         help="JSONL tier written via --solver-cache-path")
+
     args = parser.parse_args(argv)
     if args.command == "targets":
         return cmd_targets(args)
@@ -331,6 +377,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_replay(args)
     if args.command == "faults":
         return cmd_faults(args)
+    if args.command == "cache":
+        return cmd_cache(args)
     return cmd_compare(args)
 
 

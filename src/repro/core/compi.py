@@ -42,6 +42,7 @@ from ..search.base import SearchStrategy
 from ..search.dfs import TwoPhaseDFS
 from ..solver.incremental import SolveSession
 from ..solver.search import Solver
+from ..solvercache import CounterexampleCache, SolverStats
 from .config import CompiConfig
 from .conflicts import TestSetup
 from .runner import TestRunner
@@ -107,6 +108,9 @@ class CampaignResult:
     degraded_iterations: int = 0
     #: total transient-error retries spent across the campaign
     retries: int = 0
+    #: cumulative solver/cache telemetry for the committed solve stream
+    #: (None for campaigns predating the solver-cache subsystem)
+    solver: Optional[SolverStats] = None
 
     @property
     def covered(self) -> int:
@@ -162,6 +166,9 @@ class Compi:
         self.specs = specs or specs_from_module(program.modules[program.entry_module])
         solver = Solver(rng=np.random.default_rng(cfg.rng_seed(2)),
                         node_limit=cfg.solver_node_limit)
+        cache = (CounterexampleCache(capacity=cfg.solver_cache_size,
+                                     path=cfg.solver_cache_path)
+                 if cfg.solver_cache else None)
         strategy = strategy or TwoPhaseDFS(
             observe_iterations=cfg.observe_iterations,
             fixed_bound=cfg.fixed_depth_bound, slack=cfg.bound_slack,
@@ -172,7 +179,7 @@ class Compi:
         self._initial_setup = initial
         self.scheduler = Scheduler(
             config=cfg, specs=self.specs, strategy=strategy,
-            session=SolveSession(solver),
+            session=SolveSession(solver, cache=cache),
             rng=np.random.default_rng(cfg.rng_seed(1)),
             initial_setup=initial, fault_plan=self.runner.fault_plan)
         self.collector = Collector(checkpoint=self._write_checkpoint)
@@ -199,6 +206,22 @@ class Compi:
     @solver.setter
     def solver(self, value: Solver) -> None:
         self.scheduler.session.solver = value
+
+    @property
+    def solver_cache(self) -> Optional[CounterexampleCache]:
+        return self.scheduler.session.cache
+
+    @solver_cache.setter
+    def solver_cache(self, value: Optional[CounterexampleCache]) -> None:
+        self.scheduler.session.cache = value
+
+    @property
+    def solver_stats(self) -> SolverStats:
+        return self.scheduler.session.stats
+
+    @solver_stats.setter
+    def solver_stats(self, value: SolverStats) -> None:
+        self.scheduler.session.stats = value
 
     @property
     def strategy(self) -> SearchStrategy:
@@ -332,6 +355,10 @@ class Compi:
             "caps": self._caps,
             "rng": self.rng,
             "solver": self.solver,
+            # cache contents steer the committed solve stream, so exact
+            # resume must restore them along with the solver
+            "solver_cache": self.solver_cache,
+            "solver_stats": self.solver_stats,
             "strategy": self.strategy,
             "next": self._next,
             "expect": self._expect,
@@ -365,6 +392,9 @@ class Compi:
             self._caps = state["caps"]
             self.rng = state["rng"]
             self.solver = state["solver"]
+            if "solver_cache" in state:  # absent in pre-cache checkpoints
+                self.solver_cache = state["solver_cache"]
+                self.solver_stats = state["solver_stats"]
             self.strategy = state["strategy"]
             self._next = state["next"]
             self._expect = state["expect"]

@@ -92,6 +92,17 @@ class CompiConfig:
     #: candidates lazily and never executes a speculation it would squash.
     speculation_width: Optional[int] = None
 
+    # -- solver acceleration (repro.solvercache) ---------------------------
+    #: counterexample cache between the solve session and the solver:
+    #: canonicalized slices replay cached SAT models (re-validated before
+    #: use) and short-circuit known-UNSAT repeats
+    solver_cache: bool = True
+    #: LRU capacity of the in-memory cache tier, entries
+    solver_cache_size: int = 4096
+    #: JSONL disk tier path; persists verdicts across --resume and across
+    #: campaigns on the same target (None = memory tier only)
+    solver_cache_path: Optional[str] = None
+
     # -- robustness / resilience ------------------------------------------
     #: structural deadlock detection via the wait-for graph (vs. relying
     #: on the watchdog timeout alone)

@@ -23,6 +23,7 @@ Format: one JSON object per line, discriminated by ``"type"``:
 * ``iteration`` — one IterationRecord
 * ``bug``       — one BugRecord with its error-inducing inputs
 * ``cov``       — newly covered branches this iteration (resume delta)
+* ``solver``    — cumulative solver/cache telemetry (end of campaign)
 * ``coverage``  — final covered branch list (written once at the end)
 
 Exact-state resume additionally uses a pickle checkpoint *sidecar*
@@ -128,6 +129,11 @@ class CampaignLog:
                          "branches": sorted([s, int(d)]
                                             for (s, d) in new_branches)})
 
+    def write_solver(self, stats) -> None:
+        """Cumulative solver/cache telemetry (a SolverStats, or None)."""
+        if stats is not None:
+            self._write({"type": "solver", **stats.as_dict()})
+
     def write_coverage(self, result: CampaignResult) -> None:
         self._write({
             "type": "coverage",
@@ -148,6 +154,7 @@ class CampaignLog:
             self.write_iteration(rec)
         for bug in result.bugs:
             self.write_bug(bug)
+        self.write_solver(result.solver)
         self.write_coverage(result)
 
 
@@ -194,14 +201,16 @@ def load_campaign(path: Union[str, Path]) -> dict:
 
     Returns a dict with ``meta``, ``iterations`` (IterationRecord list),
     ``bugs`` (BugRecord list), ``coverage`` (raw final dict, if the
-    campaign finished) and ``cov_branches`` (set of (site, outcome)
-    branch pairs accumulated from per-iteration deltas — available even
-    for a log cut off mid-campaign).
+    campaign finished), ``solver`` (raw solver/cache telemetry dict, if
+    recorded) and ``cov_branches`` (set of (site, outcome) branch pairs
+    accumulated from per-iteration deltas — available even for a log cut
+    off mid-campaign).
     """
     meta: Optional[dict] = None
     iterations: list[IterationRecord] = []
     bugs: list[BugRecord] = []
     coverage: Optional[dict] = None
+    solver: Optional[dict] = None
     cov_branches: set[tuple[int, bool]] = set()
     for obj in read_records(path):
         kind = obj.pop("type")
@@ -219,13 +228,16 @@ def load_campaign(path: Union[str, Path]) -> dict:
                                   location=obj.get("location", "")))
         elif kind == "cov":
             cov_branches.update((s, bool(d)) for s, d in obj["branches"])
+        elif kind == "solver":
+            solver = obj
         elif kind == "coverage":
             coverage = obj
             cov_branches.update((s, bool(d)) for s, d in obj["branches"])
         else:  # pragma: no cover - forward compatibility
             continue
     return {"meta": meta, "iterations": iterations, "bugs": bugs,
-            "coverage": coverage, "cov_branches": cov_branches}
+            "coverage": coverage, "solver": solver,
+            "cov_branches": cov_branches}
 
 
 # ----------------------------------------------------------------------

@@ -130,8 +130,11 @@ class CampaignEngine:
             stragglers=sum(r.stragglers for r in col.records),
             degraded_iterations=sum(1 for r in col.records if r.degraded),
             retries=sum(r.retries for r in col.records),
+            # snapshot: the report must not alias the live session counters
+            solver=self.scheduler.session.stats.snapshot(),
         )
         if log is not None:
+            log.write_solver(result.solver)
             log.write_coverage(result)
             log.sync()
         return result

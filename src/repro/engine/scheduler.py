@@ -86,6 +86,13 @@ class Scheduler:
             random_testcase(self.specs, initial_setup, self.rng))
 
     # ------------------------------------------------------------------
+    @property
+    def solver_stats(self):
+        """Cumulative telemetry of the committed solve stream (the
+        authoritative session; speculative forks keep throwaway stats)."""
+        return self.session.stats
+
+    # ------------------------------------------------------------------
     # observation: fold one committed execution into search state
     # ------------------------------------------------------------------
     def observe(self, expect: Optional[tuple[list, int]],
@@ -218,11 +225,17 @@ class Scheduler:
     def _solve_position(self, tc: TestCase, trace: TraceResult, pos: int,
                         semantics, caps_cons, domains,
                         session: SolveSession) -> Optional[Candidate]:
-        """Solve one negation; build its candidate (None = infeasible)."""
+        """Solve one negation; build its candidate (None = infeasible).
+
+        The invariant context (MPI semantics + caps) leads and the
+        position-dependent path prefix trails, so the session's
+        simplify memo sees consecutive contexts as extensions of a
+        shared stem instead of always-different lists.
+        """
         path = trace.path
         prefix = [pe.constraint for pe in path[:pos]]
         negated = path[pos].constraint.negated()
-        res = session.solve(prefix + semantics + caps_cons, negated,
+        res = session.solve(semantics + caps_cons + prefix, negated,
                             domains, previous=dict(trace.values))
         if res is None:
             return None

@@ -1,11 +1,14 @@
 """Linear integer constraint solver (the offline Yices stand-in)."""
 
-from .incremental import IncrementalResult, dependent_slice, solve_incremental
+from .incremental import (IncrementalResult, SolveSession, dependent_slice,
+                          solve_incremental)
 from .intervals import INF, Box, check_assignment, propagate
 from .search import DEFAULT_NODE_LIMIT, Problem, Solver, SolveStats
+from .simplify import SimplifyMemo, simplify
 
 __all__ = [
     "Box", "DEFAULT_NODE_LIMIT", "INF", "IncrementalResult", "Problem",
-    "SolveStats", "Solver", "check_assignment", "dependent_slice",
-    "propagate", "solve_incremental",
+    "SimplifyMemo", "SolveSession", "SolveStats", "Solver",
+    "check_assignment", "dependent_slice", "propagate", "simplify",
+    "solve_incremental",
 ]

@@ -12,18 +12,27 @@ solver:
 :func:`dependent_slice` computes the transitive variable-sharing closure;
 :func:`solve_incremental` solves the slice and merges the result over the
 previous model, reporting exactly which variables changed.
+
+Between the slicer and the backtracking solver sits the optional
+**counterexample cache** (:mod:`repro.solvercache`): the sliced query is
+canonicalized into a renaming/order-invariant key, and a cached SAT
+model is replayed (after re-validation through ``check_assignment``) or
+a cached UNSAT verdict short-circuits the solve.  See docs/SOLVER.md.
 """
 
 from __future__ import annotations
 
 import copy
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..concolic.expr import Constraint
-from .intervals import Box
+from ..solvercache import (CacheEntry, SolverStats, canonical_key,
+                           canonicalize_model, decanonicalize)
+from .intervals import Box, check_assignment
 from .search import Problem, Solver
-from .simplify import simplify
+from .simplify import SimplifyMemo, simplify
 
 
 def dependent_slice(constraints: list[Constraint],
@@ -57,28 +66,17 @@ class IncrementalResult:
     assignment: dict[int, int]          # full model (slice ∪ kept old values)
     changed: set[int] = field(default_factory=set)  # vids whose value moved
     slice_size: int = 0
-
-    @property
-    def sat(self) -> bool:
-        return True
+    #: the model came from the counterexample cache (telemetry only)
+    cached: bool = False
 
 
-def solve_incremental(constraints: list[Constraint], negated: Constraint,
-                      domains: Box, previous: dict[int, int],
-                      solver: Optional[Solver] = None) -> Optional[IncrementalResult]:
-    """Solve ``constraints ∧ negated`` incrementally against ``previous``.
-
-    ``constraints`` is the retained context (path prefix + MPI semantic
-    constraints + caps); ``negated`` is the flipped branch constraint.
-    Only the dependency slice around ``negated`` is actually solved;
-    every other variable keeps its previous value.  Returns ``None`` when
-    the slice is UNSAT (or the solver gave up).
-    """
-    solver = solver or Solver()
-    # preprocessing: drop duplicate and subsumed context constraints (the
-    # solution set is unchanged; the dependency slice gets much smaller
-    # on loop-generated prefixes)
-    all_constraints = simplify(list(constraints)) + [negated]
+def _slice_query(constraints: list[Constraint], negated: Constraint,
+                 domains: Box, previous: dict[int, int],
+                 simplifier) -> tuple[list[Constraint], frozenset[int],
+                                      Box, dict[int, int]]:
+    """Simplify the context, slice around the negation, restrict the
+    domains and previous values to the closed variable set."""
+    all_constraints = simplifier(list(constraints)) + [negated]
     sliced, closed_vars = dependent_slice(all_constraints, negated.vars())
     slice_domains: Box = {}
     for v in closed_vars:
@@ -86,44 +84,133 @@ def solve_incremental(constraints: list[Constraint], negated: Constraint,
             raise KeyError(f"variable v{v} has no domain")
         slice_domains[v] = domains[v]
     slice_prev = {v: previous[v] for v in closed_vars if v in previous}
+    return sliced, closed_vars, slice_domains, slice_prev
+
+
+def _valid_model(sliced: list[Constraint], slice_domains: Box,
+                 model: dict[int, int]) -> bool:
+    """Soundness gate for replayed cache models: full variable cover,
+    in-domain values, and every sliced constraint satisfied."""
+    if set(model) != set(slice_domains):
+        return False
+    for v, val in model.items():
+        lo, hi = slice_domains[v]
+        if not lo <= val <= hi:
+            return False
+    return check_assignment(sliced, model)
+
+
+def solve_incremental(constraints: list[Constraint], negated: Constraint,
+                      domains: Box, previous: dict[int, int],
+                      solver: Optional[Solver] = None,
+                      simplifier=None, cache=None,
+                      stats: Optional[SolverStats] = None,
+                      ) -> Optional[IncrementalResult]:
+    """Solve ``constraints ∧ negated`` incrementally against ``previous``.
+
+    ``constraints`` is the retained context (path prefix + MPI semantic
+    constraints + caps); ``negated`` is the flipped branch constraint.
+    Only the dependency slice around ``negated`` is actually solved;
+    every other variable keeps its previous value.  Returns ``None`` when
+    the slice is UNSAT (or the solver gave up).
+
+    ``simplifier`` substitutes a memoized :func:`simplify` (results are
+    identical either way); ``cache`` is a counterexample cache (or a
+    speculative fork view) consulted before — and fed after — the
+    backtracking solve; ``stats`` accumulates session telemetry.
+    """
+    solver = solver or Solver()
+    t0 = time.perf_counter()
+    sliced, closed_vars, slice_domains, slice_prev = _slice_query(
+        constraints, negated, domains, previous, simplifier or simplify)
+
+    def _result(model: dict[int, int], cached: bool) -> IncrementalResult:
+        assignment = dict(previous)
+        assignment.update(model)
+        changed = {v for v, val in model.items() if previous.get(v) != val}
+        return IncrementalResult(assignment=assignment, changed=changed,
+                                 slice_size=len(sliced), cached=cached)
+
+    key = order = None
+    if cache is not None:
+        key, order = canonical_key(sliced, slice_domains, slice_prev)
+        entry = cache.get(key)
+        if entry is not None:
+            if not entry.sat:
+                if stats is not None:
+                    stats.unsat_hits += 1
+                    stats.note_request(len(sliced), time.perf_counter() - t0)
+                return None
+            model = decanonicalize(entry.model, order)
+            if _valid_model(sliced, slice_domains, model):
+                if stats is not None:
+                    stats.cache_hits += 1
+                    stats.note_request(len(sliced), time.perf_counter() - t0)
+                return _result(model, cached=True)
+            # stale or corrupted entry: fall through to a fresh solve,
+            # whose verdict will replace it
+            if stats is not None:
+                stats.stale_hits += 1
 
     model = solver.solve(Problem(constraints=sliced, domains=slice_domains,
                                  previous=slice_prev))
+    if cache is not None:
+        if model is not None:
+            cache.put(key, CacheEntry(sat=True,
+                                      model=canonicalize_model(model, order)))
+            if stats is not None:
+                stats.stores += 1
+        elif not solver.stats.exhausted:
+            # a give-up under the node budget is not a verdict; only
+            # completed searches are cached as UNSAT
+            cache.put(key, CacheEntry(sat=False))
+            if stats is not None:
+                stats.stores += 1
+    if stats is not None:
+        stats.note_fresh_solve(solver.stats, sat=model is not None)
+        stats.note_request(len(sliced), time.perf_counter() - t0)
     if model is None:
         return None
-
-    assignment = dict(previous)
-    assignment.update(model)
-    changed = {v for v, val in model.items() if previous.get(v) != val}
-    return IncrementalResult(assignment=assignment, changed=changed,
-                             slice_size=len(sliced))
+    return _result(model, cached=False)
 
 
 class SolveSession:
     """A sequence of incremental solves over one (stateful) solver.
 
-    The solver draws from an RNG stream, so *who* solves *what* in *which
-    order* is part of the campaign's deterministic identity.  The engine
-    scheduler therefore funnels every committed (serial) negation through
-    one long-lived session, and gives each speculative batch a
-    :meth:`fork` — a deep-copied solver whose draws cannot perturb the
-    committed stream.  A forked session is reused across the whole batch
+    The session owns the solver, the counterexample cache, the
+    simplification memo, and the cumulative :class:`SolverStats` that
+    the campaign report surfaces.  The engine scheduler funnels every
+    committed (serial) negation through one long-lived session, and
+    gives each speculative batch a :meth:`fork` — a snapshot solver plus
+    a write-buffered cache view, so neither solver state nor cache
+    contents (nor LRU recency, nor the disk tier) can be perturbed by
+    speculation.  A forked session is reused across the whole batch
     (one snapshot per batch, not per candidate), which is what makes
     k-wide speculation cheap enough to schedule every step.
     """
 
-    def __init__(self, solver: Optional[Solver] = None):
+    def __init__(self, solver: Optional[Solver] = None, cache=None,
+                 stats: Optional[SolverStats] = None):
         self.solver = solver or Solver()
+        self.cache = cache
+        self.stats = stats if stats is not None else SolverStats()
         self.solves = 0
+        self._memo = SimplifyMemo()
 
     def solve(self, constraints: list[Constraint], negated: Constraint,
               domains: Box,
               previous: dict[int, int]) -> Optional[IncrementalResult]:
         self.solves += 1
         return solve_incremental(constraints, negated, domains,
-                                 previous=previous, solver=self.solver)
+                                 previous=previous, solver=self.solver,
+                                 simplifier=self._memo, cache=self.cache,
+                                 stats=self.stats)
 
     def fork(self) -> "SolveSession":
-        """An independent session whose solver state (RNG position, node
-        budget) is a snapshot of this one — speculation runs here."""
-        return SolveSession(copy.deepcopy(self.solver))
+        """An independent session whose solver state is a snapshot of
+        this one — speculation runs here.  The fork reads the shared
+        cache but buffers its writes, and keeps throwaway telemetry:
+        only the committed stream feeds the campaign report."""
+        fork_cache = self.cache.fork() if self.cache is not None else None
+        return SolveSession(copy.deepcopy(self.solver), cache=fork_cache,
+                            stats=SolverStats())

@@ -23,6 +23,7 @@ drivers already must treat as "couldn't negate this branch".
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
@@ -48,6 +49,21 @@ class Problem:
             out.extend(c.normalized())
         return out
 
+    def digest(self) -> int:
+        """Stable 32-bit fingerprint of the whole problem.
+
+        Seeds the per-solve sampling RNG, making every solve a pure
+        function of (problem, solver seed): repeating a query — or
+        skipping it on a cache hit — cannot shift the samples any
+        *other* query sees.  Uses only content, never ids or hashes
+        subject to per-process randomization.
+        """
+        cons = sorted((c.op, c.lhs.const, tuple(sorted(c.lhs.coeffs.items())))
+                      for c in self.normalized_constraints())
+        doms = sorted(self.domains.items())
+        prev = sorted(self.previous.items())
+        return zlib.crc32(repr((cons, doms, prev)).encode())
+
 
 @dataclass
 class SolveStats:
@@ -57,19 +73,39 @@ class SolveStats:
 
 
 class Solver:
-    """Reusable solver; holds the RNG used for sampled value candidates."""
+    """Reusable solver.
+
+    Sampled value candidates draw from a *per-solve* RNG seeded by
+    ``(sample_seed, problem digest)``: the model returned for a problem
+    is a pure function of the problem and the solver's seed, never of
+    which other problems were solved before it.  That purity is what
+    lets the counterexample cache skip repeated solves without
+    perturbing the rest of the campaign.  ``stats`` holds the *last*
+    call's counters (the node budget needs per-call counts); the
+    session-level cumulative view lives in
+    :class:`repro.solvercache.SolverStats`.
+    """
 
     def __init__(self, rng: Optional[np.random.Generator] = None,
-                 node_limit: int = DEFAULT_NODE_LIMIT):
-        self.rng = rng or np.random.default_rng(0)
+                 node_limit: int = DEFAULT_NODE_LIMIT,
+                 sample_seed: Optional[int] = None):
+        if sample_seed is None:
+            # legacy construction path: derive a stable seed from the
+            # supplied generator (one draw, deterministic per seed)
+            src = rng or np.random.default_rng(0)
+            sample_seed = int(src.integers(0, 2 ** 63))
+        self.sample_seed = int(sample_seed)
         self.node_limit = node_limit
         self.stats = SolveStats()
+        self._sample_rng = np.random.default_rng(self.sample_seed)
 
     # ------------------------------------------------------------------
     def solve(self, problem: Problem) -> Optional[dict[int, int]]:
         """Return a satisfying assignment for every domain variable, or
         ``None`` (UNSAT or node limit)."""
         self.stats = SolveStats()
+        seed = getattr(self, "sample_seed", 0)  # pre-seed pickles
+        self._sample_rng = np.random.default_rng((seed, problem.digest()))
         constraints = problem.normalized_constraints()
         box: Box = dict(problem.domains)
         for c in constraints:
@@ -122,7 +158,7 @@ class Solver:
         span = hi - lo
         if span > 8:
             for _ in range(4):
-                push(int(self.rng.integers(lo, hi + 1)))
+                push(int(self._sample_rng.integers(lo, hi + 1)))
         else:
             for x in range(lo, hi + 1):
                 push(x)

@@ -1,0 +1,125 @@
+"""Query canonicalization: a key invariant under renaming and order.
+
+Loop-heavy targets re-issue near-identical dependency slices thousands
+of times per campaign: the ``while i < x`` family produces, after
+constraint-set reduction, the *same* shaped query every iteration — only
+the variable ids differ (each execution mints fresh vids).  To reuse a
+counterexample across those repeats, the cache key must identify a
+sliced query up to
+
+* **variable renaming** — vids are per-execution artifacts; and
+* **constraint order** — slicing walks the prefix in path order, which
+  permutes with the negation position.
+
+The canonical form is computed by color refinement (1-WL over the
+constraint/variable incidence structure):
+
+1. every variable starts with a color derived from its *semantic*
+   attributes — its domain interval and its previous value (both are
+   part of the query, so both belong in the key);
+2. colors refine through the constraints a variable appears in: each
+   round, a variable's new color folds in the (op, const, own
+   coefficient, sorted co-occurring colors) signature of every
+   incident constraint, and colors compress to dense ranks;
+3. after refinement stabilizes, variables sort by (final color,
+   original vid) and take canonical indices 0..n-1 in that order.
+
+The serialized key is the *full* canonical query — constraints, domains
+and previous values rewritten over canonical indices — so two queries
+share a key **iff** their canonical serializations are identical, which
+implies they are rename-equivalent.  Tie-breaking on the original vid
+(step 3) can split truly symmetric variables differently across two
+renamings of the same query; that costs a cache *miss*, never a false
+hit, so soundness does not rest on the refinement being a perfect
+graph canonicalization.
+"""
+
+from __future__ import annotations
+
+from ..concolic.expr import Constraint
+from ..solver.intervals import Box
+
+#: refinement rounds; slices are shallow, colors stabilize fast
+_REFINE_ROUNDS = 3
+
+
+def _initial_colors(vids: list[int], domains: Box,
+                    previous: dict[int, int]) -> dict[int, tuple]:
+    return {
+        v: (domains[v],
+            ("prev", previous[v]) if v in previous else ("free",))
+        for v in vids
+    }
+
+
+def _compress(colors: dict[int, tuple]) -> dict[int, int]:
+    """Map colors to dense ranks (ordered by repr, which is total and
+    deterministic over the nested int/str/tuple colors we build)."""
+    ranks = {c: i for i, c in
+             enumerate(sorted(set(colors.values()), key=repr))}
+    return {v: ranks[c] for v, c in colors.items()}
+
+
+def _refine(vids: list[int], constraints: list[Constraint],
+            colors: dict[int, int]) -> dict[int, int]:
+    incident: dict[int, list[Constraint]] = {v: [] for v in vids}
+    for c in constraints:
+        for v in c.lhs.coeffs:
+            incident[v].append(c)
+    for _ in range(_REFINE_ROUNDS):
+        nxt: dict[int, tuple] = {}
+        for v in vids:
+            sigs = []
+            for c in incident[v]:
+                coeffs = c.lhs.coeffs
+                others = tuple(sorted((coeffs[u], colors[u])
+                                      for u in coeffs if u != v))
+                sigs.append((c.op, c.lhs.const, coeffs[v], others))
+            nxt[v] = (colors[v], tuple(sorted(sigs)))
+        compressed = _compress(nxt)
+        if compressed == colors:
+            break
+        colors = compressed
+    return colors
+
+
+def canonical_key(constraints: list[Constraint], domains: Box,
+                  previous: dict[int, int]) -> tuple[str, list[int]]:
+    """Canonicalize one sliced query.
+
+    Returns ``(key, order)`` where ``key`` is the canonical
+    serialization and ``order[i]`` is the actual vid holding canonical
+    index ``i`` (the mapping a cached model is replayed through).
+    Constraints are expanded to normalized form first, so ``x < 5`` and
+    ``x + 1 <= 5`` canonicalize identically.
+    """
+    normalized: list[Constraint] = []
+    for c in constraints:
+        normalized.extend(c.normalized())
+    vids = sorted(set(domains))
+    colors = _compress(_initial_colors(vids, domains, previous))
+    colors = _refine(vids, normalized, colors)
+    order = sorted(vids, key=lambda v: (colors[v], v))
+    canon = {v: i for i, v in enumerate(order)}
+
+    cons_part = sorted(
+        (c.op, c.lhs.const,
+         tuple(sorted((canon[v], k) for v, k in c.lhs.coeffs.items())))
+        for c in normalized)
+    dom_part = [(canon[v], domains[v][0], domains[v][1]) for v in order]
+    prev_part = sorted((canon[v], val) for v, val in previous.items()
+                       if v in canon)
+    key = repr((cons_part, dom_part, prev_part))
+    return key, order
+
+
+def decanonicalize(model: dict[int, int], order: list[int]) -> dict[int, int]:
+    """Rewrite a cached canonical-index model onto the query's vids."""
+    return {order[i]: val for i, val in model.items()}
+
+
+def canonicalize_model(model: dict[int, int],
+                       order: list[int]) -> dict[int, int]:
+    """Rewrite a solver model onto canonical indices for storage."""
+    canon = {v: i for i, v in enumerate(order)}
+    return {canon[v]: val for v, val in model.items()}

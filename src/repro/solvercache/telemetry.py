@@ -1,0 +1,109 @@
+"""Solver telemetry: cumulative per-session solving statistics.
+
+The backtracking solver keeps per-call counters (it needs them for its
+node budget); this aggregate is the campaign-lifetime view the report
+surfaces — cache effectiveness (hits / misses / unsat-hits / stale
+hits), search effort (nodes, propagations, exhaustions), slice sizes,
+and a latency EWMA over ``SolveSession.solve`` calls.
+
+Counters are deterministic functions of the committed query stream.
+The latency fields are wall-clock and therefore *not* part of any
+determinism contract — they feed the benchmark JSON and the report,
+nothing that steers the campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class SolverStats:
+    """Cumulative statistics for one solve session."""
+
+    #: total incremental solve requests
+    solves: int = 0
+    #: requests answered by replaying a cached SAT model
+    cache_hits: int = 0
+    #: requests short-circuited by a cached UNSAT verdict
+    unsat_hits: int = 0
+    #: requests that missed the cache (or ran with it disabled)
+    cache_misses: int = 0
+    #: SAT hits whose model failed re-validation (degraded to a miss)
+    stale_hits: int = 0
+    #: fresh solves that returned a model
+    sat_solves: int = 0
+    #: fresh solves that returned UNSAT / gave up
+    unsat_solves: int = 0
+    #: verdicts written to the cache
+    stores: int = 0
+    #: cumulative backtracking nodes across fresh solves
+    nodes: int = 0
+    #: cumulative propagation passes across fresh solves
+    propagations: int = 0
+    #: fresh solves that hit the node budget
+    exhaustions: int = 0
+    #: cumulative dependency-slice sizes (constraints per request)
+    slice_constraints: int = 0
+    #: largest dependency slice seen
+    max_slice: int = 0
+    #: wall-clock spent inside solve requests, seconds
+    solve_time: float = 0.0
+    #: EWMA of per-request latency, seconds
+    latency_ewma: float = 0.0
+    #: EWMA smoothing factor
+    latency_alpha: float = 0.2
+
+    # ------------------------------------------------------------------
+    def note_request(self, slice_size: int, latency: float) -> None:
+        """Book-keeping common to every solve request (hit or miss)."""
+        self.solves += 1
+        self.slice_constraints += slice_size
+        self.max_slice = max(self.max_slice, slice_size)
+        self.solve_time += latency
+        if self.latency_ewma == 0.0:
+            self.latency_ewma = latency
+        else:
+            a = self.latency_alpha
+            self.latency_ewma = a * latency + (1 - a) * self.latency_ewma
+
+    def note_fresh_solve(self, solver_stats, sat: bool) -> None:
+        """Fold one backtracking solve's per-call counters in."""
+        self.cache_misses += 1
+        self.nodes += solver_stats.nodes
+        self.propagations += solver_stats.propagations
+        if solver_stats.exhausted:
+            self.exhaustions += 1
+        if sat:
+            self.sat_solves += 1
+        else:
+            self.unsat_solves += 1
+
+    # ------------------------------------------------------------------
+    @property
+    def hits(self) -> int:
+        return self.cache_hits + self.unsat_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.solves if self.solves else 0.0
+
+    @property
+    def avg_slice(self) -> float:
+        return self.slice_constraints / self.solves if self.solves else 0.0
+
+    @property
+    def solves_per_sec(self) -> float:
+        return self.solves / self.solve_time if self.solve_time > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "SolverStats":
+        """A detached copy (reports must not alias live counters)."""
+        return SolverStats(**{f.name: getattr(self, f.name)
+                              for f in fields(self)})
+
+    def as_dict(self) -> dict:
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["hit_rate"] = round(self.hit_rate, 4)
+        out["avg_slice"] = round(self.avg_slice, 2)
+        return out

@@ -197,6 +197,32 @@ def test_dependent_slice_empty_seed():
     assert sliced == [] and closed == frozenset()
 
 
+def test_dependent_slice_fully_disconnected():
+    # every constraint disjoint from the seed and from each other
+    cs = [le({1: 1}, 0), le({2: 1}, 0), le({3: 1}, 0)]
+    sliced, closed = dependent_slice(cs, frozenset({0}))
+    assert sliced == []
+    assert closed == frozenset({0})    # the seed var alone stays closed
+
+
+def test_dependent_slice_chain_closes_transitively():
+    # 0—1, 1—2, 2—3: reaching constraint (2,3) needs two closure rounds
+    # because the list order puts it *before* the links that justify it
+    cs = [le({2: 1, 3: 1}, 0),
+          le({1: 1, 2: 1}, 0),
+          le({0: 1, 1: 1}, 0),
+          le({7: 1, 8: 1}, 0)]         # island, must stay out
+    sliced, closed = dependent_slice(cs, frozenset({0}))
+    assert set(id(c) for c in sliced) == set(id(c) for c in cs[:3])
+    assert closed == frozenset({0, 1, 2, 3})
+
+
+def test_dependent_slice_preserves_input_order():
+    cs = [le({2: 1, 3: 1}, 0), le({1: 1, 2: 1}, 0), le({0: 1, 1: 1}, 0)]
+    sliced, _ = dependent_slice(cs, frozenset({0}))
+    assert sliced == cs                # original order, not discovery order
+
+
 def test_solve_incremental_keeps_unrelated_vars():
     context = [le({0: 1}, -100)]                 # x <= 100
     negated = ne({0: 1}, -7)                     # x != 7
