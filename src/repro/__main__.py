@@ -22,6 +22,7 @@ from .instrument import instrument_program
 TARGETS = {
     "demo": (["repro.targets.demo"], "repro.targets.demo"),
     "seq_demo": (["repro.targets.seq_demo"], "repro.targets.seq_demo"),
+    "killer": (["repro.targets.killer"], "repro.targets.killer"),
     "susy": ("repro.targets.susy", None),
     "hpl": ("repro.targets.hpl", None),
     "imb": ("repro.targets.imb", None),
@@ -69,6 +70,11 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
         speculation_width=getattr(args, "speculation_width", None),
         solver_cache=getattr(args, "solver_cache", True),
         solver_cache_path=getattr(args, "solver_cache_path", None),
+        max_rss_mb=getattr(args, "max_rss", None),
+        max_cpu_s=getattr(args, "max_cpu", None),
+        sandbox=getattr(args, "sandbox", None),
+        minimize_crashes=getattr(args, "minimize", True),
+        quarantine_kills=getattr(args, "quarantine_kills", 1),
     )
 
 
@@ -111,6 +117,26 @@ def add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--solver-cache-path", default=None, metavar="PATH",
                    help="JSONL disk tier for the solver cache; persists "
                         "verdicts across --resume and campaigns")
+    p.add_argument("--max-rss", type=int, default=None, metavar="MB",
+                   help="address-space rlimit per test run; allocation "
+                        "failures classify as the distinct 'oom' kind")
+    p.add_argument("--max-cpu", type=float, default=None, metavar="SECONDS",
+                   help="CPU-time rlimit per test run; SIGXCPU deaths "
+                        "classify as 'cpu-cap'")
+    p.add_argument("--sandbox", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="fork-isolate inline test runs so a hard-dying "
+                        "target cannot kill the campaign (auto-on when "
+                        "--max-rss/--max-cpu is set)")
+    p.add_argument("--minimize", action=argparse.BooleanOptionalAction,
+                   default=True,
+                   help="ddmin-minimize each new crash signature into a "
+                        "reproducer artifact under <log>.repro/ "
+                        "(--no-minimize disables)")
+    p.add_argument("--quarantine-kills", type=int, default=1,
+                   metavar="N",
+                   help="confirmed worker kills from one input before it "
+                        "is quarantined (default: 1)")
 
 
 def budget_kwargs(args: argparse.Namespace) -> dict:
@@ -291,6 +317,100 @@ def cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _pick_artifact(artifacts: list[dict], signature: str | None,
+                   index: int) -> dict:
+    if signature:
+        hits = [a for a in artifacts if signature in a["signature"]]
+        if not hits:
+            raise SystemExit(f"no reproducer artifact matching {signature!r}")
+        if len(hits) > 1:
+            names = ", ".join(a["signature"] for a in hits)
+            raise SystemExit(f"--signature {signature!r} is ambiguous "
+                             f"({names})")
+        return hits[0]
+    if index >= len(artifacts):
+        raise SystemExit(f"{len(artifacts)} artifact(s) recorded; "
+                         f"--index {index} is out of range")
+    return artifacts[index]
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """`triage` subcommand: inspect / replay minimized crash reproducers."""
+    import json
+
+    from .supervise import load_artifacts, repro_dir
+
+    directory = repro_dir(args.log)
+    artifacts = load_artifacts(directory)
+    if args.action == "list":
+        if not artifacts:
+            print(f"no reproducer artifacts under {directory}")
+            return 0
+        rows = [[a["signature"], a["kind"], a["iteration"],
+                 "yes" if a["minimized"] else "no",
+                 len(a.get("removed_inputs", [])),
+                 dict(sorted(a["minimized_inputs"].items()))]
+                for a in artifacts]
+        print(format_table(
+            ["signature", "kind", "iter", "minimized", "dropped", "inputs"],
+            rows, title=f"crash reproducers: {directory}"))
+        return 0
+
+    art = _pick_artifact(artifacts, args.signature, args.index)
+    if args.action == "show":
+        shown = {k: v for k, v in art.items() if k != "_path"}
+        print(json.dumps(shown, indent=2, sort_keys=True))
+        print(f"# artifact: {art['_path']}")
+        return 0
+
+    # replay: re-execute the (minimized) reproducer in the sandbox
+    if not args.target:
+        raise SystemExit("triage replay needs --target (the artifact "
+                         f"records program {art['program']!r})")
+    from .core.conflicts import TestSetup
+    from .core.runner import ErrorInfo, TestRunner
+    from .core.testcase import TestCase
+    from .supervise import ResourceLimits, crash_signature, run_sandboxed
+
+    inputs = art["inputs"] if args.original else art["minimized_inputs"]
+    limits = ResourceLimits(max_rss_mb=art["limits"]["max_rss_mb"],
+                            max_cpu_s=art["limits"]["max_cpu_s"])
+    config = CompiConfig(seed=art.get("seed", 0),
+                         max_rss_mb=limits.max_rss_mb,
+                         max_cpu_s=limits.max_cpu_s, sandbox=True)
+    tc = TestCase(inputs={k: int(v) for k, v in inputs.items()},
+                  setup=TestSetup(art["nprocs"], art["focus"]))
+    print(f"replaying {art['signature']} "
+          f"(np={art['nprocs']}, focus={art['focus']})")
+    print(f"inputs: {dict(sorted(tc.inputs.items()))}")
+    program = load_target(args.target)
+    try:
+        runner = TestRunner(program, config)
+        outcome, death = run_sandboxed(runner, tc, config.test_timeout,
+                                       limits)
+    finally:
+        program.unload()
+    if death is not None:
+        err = ErrorInfo(kind=death.kind, global_rank=-1,
+                        message=death.message(limits))
+    elif outcome is not None and outcome.error is not None:
+        err = outcome.error
+    else:
+        print("replay did NOT reproduce the crash "
+              "(fixed, or environment-dependent)")
+        return 1
+    got = crash_signature(err)
+    print(f"reproduced: {err.kind} — {err.message[:90]}")
+    if err.location:
+        print(f"  at {err.location}")
+    if got == art["signature"]:
+        print(f"signature match: {got}")
+        return 0
+    print(f"DIFFERENT signature: got {got}, artifact has "
+          f"{art['signature']}")
+    return 1
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """`compare` subcommand: run several variants with a common denominator."""
     names = [v.strip() for v in args.variants.split(",") if v.strip()]
@@ -361,6 +481,25 @@ def main(argv: list[str] | None = None) -> int:
     p_flt.add_argument("--list", action="store_true",
                        help="list the injectable fault kinds and exit")
 
+    p_tri = sub.add_parser("triage",
+                           help="inspect / replay minimized crash "
+                                "reproducer artifacts")
+    p_tri.add_argument("action", choices=("list", "show", "replay"),
+                       help="list artifacts; show one as JSON; replay one "
+                            "in the sandbox and re-check its signature")
+    p_tri.add_argument("--log", required=True,
+                       help="campaign JSONL log (artifacts live in "
+                            "<log>.repro/)")
+    p_tri.add_argument("--signature", default=None,
+                       help="signature (or unique substring) to select")
+    p_tri.add_argument("--index", type=int, default=0,
+                       help="artifact index when --signature is not given")
+    p_tri.add_argument("--target", default=None, choices=sorted(TARGETS),
+                       help="target to replay against (replay only)")
+    p_tri.add_argument("--original", action="store_true",
+                       help="replay the original crashing inputs instead "
+                            "of the minimized ones")
+
     p_cache = sub.add_parser("cache",
                              help="inspect the solver-cache disk tier")
     p_cache.add_argument("action", choices=("stats", "clear"),
@@ -379,6 +518,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_faults(args)
     if args.command == "cache":
         return cmd_cache(args)
+    if args.command == "triage":
+        return cmd_triage(args)
     return cmd_compare(args)
 
 

@@ -3,10 +3,12 @@
 from .compi import BugRecord, CampaignResult, Compi, IterationRecord
 from .config import CompiConfig
 from .conflicts import TestSetup, resolve_setup
-from .runner import (ErrorInfo, KIND_ABORT, KIND_ASSERT, KIND_CRASH,
-                     KIND_DEADLOCK, KIND_FPE, KIND_HANG, KIND_INJECTED,
-                     KIND_MPI, KIND_SEGFAULT, RunRecord, TestRunner,
-                     TransientCampaignError, classify_run, crash_location)
+from .runner import (ErrorInfo, KIND_ABORT, KIND_ASSERT, KIND_CPU,
+                     KIND_CRASH, KIND_DEADLOCK, KIND_FPE, KIND_HANG,
+                     KIND_INJECTED, KIND_MPI, KIND_OOM, KIND_SEGFAULT,
+                     KIND_WORKER, RunRecord, TestRunner,
+                     TransientCampaignError, classify_run, crash_location,
+                     traceback_frames)
 from .report import campaign_summary, format_table, size_histogram
 from .semantics import (capping_constraints, clamp_to_caps,
                         mpi_semantic_constraints, solver_domains)
@@ -15,12 +17,13 @@ from .testcase import (InputSpec, TestCase, default_testcase, random_testcase,
 
 __all__ = [
     "BugRecord", "CampaignResult", "Compi", "CompiConfig", "ErrorInfo",
-    "InputSpec", "IterationRecord", "KIND_ABORT", "KIND_ASSERT", "KIND_CRASH",
-    "KIND_DEADLOCK", "KIND_FPE", "KIND_HANG", "KIND_INJECTED", "KIND_MPI",
-    "KIND_SEGFAULT", "RunRecord", "TestCase", "TestRunner", "TestSetup",
+    "InputSpec", "IterationRecord", "KIND_ABORT", "KIND_ASSERT", "KIND_CPU",
+    "KIND_CRASH", "KIND_DEADLOCK", "KIND_FPE", "KIND_HANG", "KIND_INJECTED",
+    "KIND_MPI", "KIND_OOM", "KIND_SEGFAULT", "KIND_WORKER", "RunRecord",
+    "TestCase", "TestRunner", "TestSetup",
     "TransientCampaignError", "campaign_summary", "capping_constraints",
     "clamp_to_caps", "classify_run", "crash_location", "default_testcase",
-    "format_table",
+    "format_table", "traceback_frames",
     "mpi_semantic_constraints", "random_testcase", "resolve_setup",
     "size_histogram", "solver_domains", "specs_from_module",
 ]

@@ -59,6 +59,9 @@ class BugRecord:
     testcase: TestCase
     iteration: int
     location: str = ""   # crash site "file:line:function" when known
+    #: triage crash signature "{kind}@{location}#{hash}" (see
+    #: repro.supervise.triage); "" for records predating triage
+    signature: str = ""
 
     @property
     def dedup_key(self) -> tuple[str, str]:
@@ -88,6 +91,9 @@ class IterationRecord:
     degraded: bool = False
     #: transient-error retries it took to complete this iteration
     retries: int = 0
+    #: the swallowed harvest exception behind ``degraded``, when any
+    #: ("ExcType: message @ file:line:function")
+    harvest_error: str = ""
 
 
 @dataclass
@@ -111,6 +117,10 @@ class CampaignResult:
     #: cumulative solver/cache telemetry for the committed solve stream
     #: (None for campaigns predating the solver-cache subsystem)
     solver: Optional[SolverStats] = None
+    #: supervision/triage telemetry dict — worker kills, pool rebuilds,
+    #: quarantine counts, unique crash signatures (None for campaigns
+    #: predating the supervision subsystem)
+    supervision: Optional[dict] = None
 
     @property
     def covered(self) -> int:
@@ -160,6 +170,7 @@ class Compi:
                  specs: Optional[dict[str, InputSpec]] = None):
         from ..engine import (CampaignEngine, Collector, Scheduler,
                               make_executor)  # façade ↔ engine cycle
+        from ..supervise import CampaignSupervisor, CrashTriage
         self.program = program
         self.config = config or CompiConfig()
         cfg = self.config
@@ -182,8 +193,13 @@ class Compi:
             session=SolveSession(solver, cache=cache),
             rng=np.random.default_rng(cfg.rng_seed(1)),
             initial_setup=initial, fault_plan=self.runner.fault_plan)
-        self.collector = Collector(checkpoint=self._write_checkpoint)
-        self.executor = make_executor(program, cfg, self.runner)
+        self.supervisor = CampaignSupervisor(cfg, self.runner)
+        self.triage = CrashTriage(self.runner, self.specs, cfg, program.name)
+        self.collector = Collector(checkpoint=self._write_checkpoint,
+                                   supervisor=self.supervisor,
+                                   triage=self.triage)
+        self.executor = make_executor(program, cfg, self.runner,
+                                      supervisor=self.supervisor)
         self.engine = CampaignEngine(program, cfg, self.scheduler,
                                      self.executor, self.collector,
                                      self.runner)
@@ -365,6 +381,10 @@ class Compi:
             "runner_ewma": self.runner._ewma,
             "runner_runs": self.runner._runs,
             "solver_fault_rng": self._solver_fault_rng,
+            # supervision: quarantine/kill state and the crash signatures
+            # that already have reproducer artifacts
+            "supervisor": self.supervisor.state_dict(),
+            "triage_seen": self.triage.state_dict(),
         })
 
     @classmethod
@@ -404,6 +424,9 @@ class Compi:
             self.runner._ewma = state["runner_ewma"]
             self.runner._runs = state["runner_runs"]
             self._solver_fault_rng = state["solver_fault_rng"]
+            # pre-supervision checkpoints simply have nothing to restore
+            self.supervisor.load_state(state.get("supervisor", {}))
+            self.triage.load_state(state.get("triage_seen", {}))
             return self
         # degraded path: JSONL only (e.g. the checkpoint was lost or is
         # from an incompatible version)
@@ -415,6 +438,16 @@ class Compi:
             self.coverage.add_branch(site, outcome)
         self.bugs = data["bugs"]
         self.records = data["iterations"]
+        # quarantine records are part of the log stream, so even the
+        # degraded resume keeps honoring them; replaying the logged bug
+        # signatures stops triage from re-minimizing known crashes
+        from ..supervise import QuarantineEntry
+        self.supervisor.load_entries(
+            [QuarantineEntry.from_dict(d) for d in data["quarantine"]])
+        for bug in self.bugs:
+            if bug.signature:
+                self.triage.seen[bug.signature] = (
+                    self.triage.seen.get(bug.signature, 0) + 1)
         if self.records:
             self._iteration = max(r.iteration for r in self.records) + 1
             self._elapsed_prior = max(r.elapsed for r in self.records)

@@ -103,6 +103,36 @@ class CompiConfig:
     #: campaigns on the same target (None = memory tier only)
     solver_cache_path: Optional[str] = None
 
+    # -- supervised execution (repro.supervise) ----------------------------
+    #: address-space rlimit per run, MB (None = unlimited).  Applied in
+    #: spawn workers and in the forked inline sandbox; an allocation
+    #: failure under the cap classifies as the distinct ``oom`` kind.
+    max_rss_mb: Optional[int] = None
+    #: CPU-time rlimit per run, seconds (None = unlimited).  Re-armed per
+    #: task in spawn workers; a SIGXCPU death classifies as ``cpu-cap``.
+    max_cpu_s: Optional[float] = None
+    #: fork-isolate inline runs so a hard-dying target (``os._exit``, a
+    #: fatal signal) kills a sandbox child, not the campaign.  ``None``
+    #: auto-enables when an rlimit cap is set.
+    sandbox: Optional[bool] = None
+    #: confirmed hard kills from one canonical input before it is
+    #: quarantined (skipped without execution, persisted in the log,
+    #: honored across --resume)
+    quarantine_kills: int = 1
+    #: pool teardowns before the circuit breaker stops rebuilding and
+    #: degrades the parallel executor to sandboxed inline execution
+    breaker_rebuilds: int = 3
+    #: delta-debug each *new* crash signature down to a minimal
+    #: reproducer artifact under ``<log>.repro/`` (needs a campaign log)
+    minimize_crashes: bool = True
+    #: sandboxed re-runs the ddmin minimizer may spend per signature
+    minimize_probes: int = 48
+    #: a worker heartbeat older than this is considered stale, seconds
+    heartbeat_stale: float = 15.0
+    #: extra patience beyond the pinned batch timeout before a stale
+    #: worker is declared wedged and its pool torn down, seconds
+    wedge_grace: float = 60.0
+
     # -- robustness / resilience ------------------------------------------
     #: structural deadlock detection via the wait-for graph (vs. relying
     #: on the watchdog timeout alone)
@@ -119,6 +149,13 @@ class CompiConfig:
 
     def rng_seed(self, salt: int = 0) -> int:
         return (self.seed * 1_000_003 + salt) % (2 ** 31)
+
+    def sandbox_enabled(self) -> bool:
+        """Whether inline runs execute in the forked sandbox: explicit
+        ``sandbox``, else auto-on when any resource cap is set."""
+        if self.sandbox is not None:
+            return bool(self.sandbox)
+        return self.max_rss_mb is not None or self.max_cpu_s is not None
 
     def effective_speculation_width(self) -> int:
         """Candidates per scheduler step: explicit width, else one per

@@ -22,9 +22,13 @@ Format: one JSON object per line, discriminated by ``"type"``:
 * ``meta``      — program name, config snapshot, totals
 * ``iteration`` — one IterationRecord
 * ``bug``       — one BugRecord with its error-inducing inputs
-* ``cov``       — newly covered branches this iteration (resume delta)
-* ``solver``    — cumulative solver/cache telemetry (end of campaign)
-* ``coverage``  — final covered branch list (written once at the end)
+* ``cov``        — newly covered branches this iteration (resume delta)
+* ``solver``     — cumulative solver/cache telemetry (end of campaign)
+* ``quarantine`` — one input quarantined after repeated worker kills
+  (written with the iteration that confirmed the kill; honored by every
+  subsequent resume)
+* ``supervision``— supervision/triage telemetry (end of campaign)
+* ``coverage``   — final covered branch list (written once at the end)
 
 Exact-state resume additionally uses a pickle checkpoint *sidecar*
 (``<log>.ckpt``, written atomically): the JSONL log is the durable,
@@ -116,10 +120,20 @@ class CampaignLog:
             "type": "bug", "kind": bug.kind, "message": bug.message,
             "global_rank": bug.global_rank, "iteration": bug.iteration,
             "location": bug.location,
+            "signature": bug.signature,
             "inputs": dict(bug.testcase.inputs),
             "nprocs": bug.testcase.setup.nprocs,
             "focus": bug.testcase.setup.focus,
         })
+
+    def write_quarantine(self, entry) -> None:
+        """One newly quarantined input (a supervise.pool.QuarantineEntry)."""
+        self._write({"type": "quarantine", **entry.as_dict()})
+
+    def write_supervision(self, supervision: Optional[dict]) -> None:
+        """Supervision/triage telemetry (a plain dict, or None)."""
+        if supervision is not None:
+            self._write({"type": "supervision", **supervision})
 
     def write_cov_delta(self, iteration: int,
                         new_branches: list[tuple[int, bool]]) -> None:
@@ -155,6 +169,7 @@ class CampaignLog:
         for bug in result.bugs:
             self.write_bug(bug)
         self.write_solver(result.solver)
+        self.write_supervision(result.supervision)
         self.write_coverage(result)
 
 
@@ -202,15 +217,19 @@ def load_campaign(path: Union[str, Path]) -> dict:
     Returns a dict with ``meta``, ``iterations`` (IterationRecord list),
     ``bugs`` (BugRecord list), ``coverage`` (raw final dict, if the
     campaign finished), ``solver`` (raw solver/cache telemetry dict, if
-    recorded) and ``cov_branches`` (set of (site, outcome) branch pairs
-    accumulated from per-iteration deltas — available even for a log cut
-    off mid-campaign).
+    recorded), ``quarantine`` (raw quarantine-entry dicts, in log order),
+    ``supervision`` (raw telemetry dict, if recorded) and
+    ``cov_branches`` (set of (site, outcome) branch pairs accumulated
+    from per-iteration deltas — available even for a log cut off
+    mid-campaign).
     """
     meta: Optional[dict] = None
     iterations: list[IterationRecord] = []
     bugs: list[BugRecord] = []
     coverage: Optional[dict] = None
     solver: Optional[dict] = None
+    supervision: Optional[dict] = None
+    quarantine: list[dict] = []
     cov_branches: set[tuple[int, bool]] = set()
     for obj in read_records(path):
         kind = obj.pop("type")
@@ -225,11 +244,16 @@ def load_campaign(path: Union[str, Path]) -> dict:
             bugs.append(BugRecord(kind=obj["kind"], message=obj["message"],
                                   global_rank=obj["global_rank"],
                                   testcase=tc, iteration=obj["iteration"],
-                                  location=obj.get("location", "")))
+                                  location=obj.get("location", ""),
+                                  signature=obj.get("signature", "")))
         elif kind == "cov":
             cov_branches.update((s, bool(d)) for s, d in obj["branches"])
         elif kind == "solver":
             solver = obj
+        elif kind == "quarantine":
+            quarantine.append(obj)
+        elif kind == "supervision":
+            supervision = obj
         elif kind == "coverage":
             coverage = obj
             cov_branches.update((s, bool(d)) for s, d in obj["branches"])
@@ -237,6 +261,7 @@ def load_campaign(path: Union[str, Path]) -> dict:
             continue
     return {"meta": meta, "iterations": iterations, "bugs": bugs,
             "coverage": coverage, "solver": solver,
+            "quarantine": quarantine, "supervision": supervision,
             "cov_branches": cov_branches}
 
 

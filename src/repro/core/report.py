@@ -36,6 +36,23 @@ def campaign_summary(result: CampaignResult) -> str:
         if s.stale_hits:
             lines.append(f"stale cache hits   : {s.stale_hits} "
                          f"(model failed re-check; solved fresh)")
+    sup = result.supervision
+    if sup:
+        if sup.get("sandboxed_runs") or sup.get("worker_kills"):
+            lines.append(
+                f"supervision        : {sup.get('sandboxed_runs', 0)} "
+                f"sandboxed runs, {sup.get('worker_kills', 0)} worker kills, "
+                f"{sup.get('pool_rebuilds', 0)} pool rebuilds"
+                + (" (breaker OPEN)" if sup.get("breaker_open") else ""))
+        if sup.get("quarantined"):
+            lines.append(
+                f"quarantine         : {sup['quarantined']} input(s) "
+                f"quarantined, {sup.get('quarantine_skips', 0)} skips")
+        if sup.get("unique_signatures"):
+            lines.append(
+                f"crash triage       : {sup['unique_signatures']} unique "
+                f"signature(s), {sup.get('minimized_crashes', 0)} minimized "
+                f"({sup.get('minimize_probes', 0)} probes)")
     if result.degraded_iterations:
         lines.append(f"degraded iterations: {result.degraded_iterations} "
                      f"(coverage-only; trace harvest failed)")

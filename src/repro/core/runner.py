@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import re
 import time
+import traceback
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -44,6 +45,13 @@ KIND_CRASH = "crash"
 KIND_DEADLOCK = "deadlock"
 #: an injector-originated failure (fault-injection campaigns only)
 KIND_INJECTED = "injected-fault"
+#: the execution's own process died hard (``os._exit``, a fatal signal):
+#: the supervision layer's verdict, never the in-process classifier's
+KIND_WORKER = "worker-killed"
+#: the run exceeded its address-space rlimit (``CompiConfig.max_rss_mb``)
+KIND_OOM = "oom"
+#: the run exceeded its CPU rlimit (``CompiConfig.max_cpu_s``)
+KIND_CPU = "cpu-cap"
 
 
 class TransientCampaignError(RuntimeError):
@@ -70,6 +78,40 @@ _HELPER_FILES = ("cmem.py",)
 _FRAME_RE = re.compile(r'^\s*File "(?P<path>.+)", line (?P<line>\d+),'
                        r' in (?P<func>.+)$')
 
+#: the separators CPython prints between the tracebacks of a chained
+#: exception.  Everything *after* the first separator describes wrapper
+#: exceptions; the root cause is the first block.
+_CHAIN_SEPARATORS = (
+    "The above exception was the direct cause of the following exception:",
+    "During handling of the above exception, another exception occurred:",
+)
+
+
+def root_cause_block(tb_text: str) -> str:
+    """The first traceback block of a (possibly chained) traceback.
+
+    Python prints chained exceptions root-cause-first, so the text
+    *before* the first chain separator is the trace of the exception
+    that actually started the failure.
+    """
+    cut = len(tb_text)
+    for sep in _CHAIN_SEPARATORS:
+        idx = tb_text.find(sep)
+        if idx != -1:
+            cut = min(cut, idx)
+    return tb_text[:cut]
+
+
+def traceback_frames(tb_text: str) -> list[str]:
+    """``basename:line:function`` for each frame of the root-cause block."""
+    frames: list[str] = []
+    for line in root_cause_block(tb_text).splitlines():
+        m = _FRAME_RE.match(line)
+        if m:
+            basename = m.group("path").replace("\\", "/").rsplit("/", 1)[-1]
+            frames.append(f"{basename}:{m.group('line')}:{m.group('func')}")
+    return frames
+
 
 def crash_location(tb_text: str) -> str:
     """Extract the deepest non-helper frame from a formatted traceback.
@@ -77,14 +119,11 @@ def crash_location(tb_text: str) -> str:
     Three distinct wrong-``sizeof`` allocations all raise inside the
     shared ``cmem.store`` helper; deduplication must anchor on the
     *allocation site* (the caller), or the paper's three segfaults would
-    collapse into one.
+    collapse into one.  For a chained traceback (``The above exception
+    was the direct cause…``) only the root-cause block is considered —
+    the outer wrapper frames describe the re-raise, not the bug.
     """
-    frames: list[str] = []
-    for line in tb_text.splitlines():
-        m = _FRAME_RE.match(line)
-        if m:
-            basename = m.group("path").replace("\\", "/").rsplit("/", 1)[-1]
-            frames.append(f"{basename}:{m.group('line')}:{m.group('func')}")
+    frames = traceback_frames(tb_text)
     for loc in reversed(frames):
         if not any(loc.startswith(h + ":") for h in _HELPER_FILES):
             return loc
@@ -108,6 +147,10 @@ class RunRecord:
     degraded: bool = False
     #: effective per-test timeout used for this run (adaptive or flat)
     timeout_used: float = 0.0
+    #: the exception the trace harvest swallowed when it degraded
+    #: (``""`` for a clean harvest) — kept so a degraded iteration is
+    #: diagnosable from the run record instead of silently discarded
+    harvest_error: str = ""
 
     @property
     def ok(self) -> bool:
@@ -287,13 +330,17 @@ class TestRunner:
         focus = testcase.setup.focus
         focus_sink: HeavySink = sinks[focus]
         degraded = False
+        harvest_error = ""
         try:
             trace = focus_sink.result()
-        except Exception:
+        except Exception as exc:
             # graceful degradation: a broken trace harvest must not kill
-            # the campaign — record a coverage-only iteration instead
+            # the campaign — record a coverage-only iteration instead,
+            # but keep the swallowed exception in the run record
             trace = None
             degraded = True
+            harvest_error = (f"{type(exc).__name__}: {exc} @ "
+                             f"{crash_location(traceback.format_exc()) or '?'}")
 
         if self.config.framework:
             coverage = merge_all(s.coverage for s in sinks)
@@ -315,4 +362,5 @@ class TestRunner:
             wall_time=wall,
             degraded=degraded,
             timeout_used=timeout,
+            harvest_error=harvest_error,
         )

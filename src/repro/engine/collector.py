@@ -19,6 +19,7 @@ from typing import Any, Callable, Optional
 
 from ..concolic.coverage import CoverageMap
 from ..core.compi import BugRecord, IterationRecord
+from ..supervise.triage import crash_signature
 from .executor import ExecOutcome
 from .scheduler import Candidate
 
@@ -27,13 +28,25 @@ CheckpointHook = Callable[[Any, float], None]
 
 
 class Collector:
-    """Accumulates committed outcomes; streams them to the log."""
+    """Accumulates committed outcomes; streams them to the log.
 
-    def __init__(self, checkpoint: Optional[CheckpointHook] = None):
+    ``supervisor``/``triage`` (see :mod:`repro.supervise`) hook the
+    committed stream: newly quarantined inputs are persisted with the
+    iteration that confirmed the kill, and every committed bug feeds
+    signature dedup + reproducer minimization.  Both run at commit time,
+    in commit order — which is exactly what keeps their state identical
+    under the inline and pool executors.
+    """
+
+    def __init__(self, checkpoint: Optional[CheckpointHook] = None,
+                 supervisor: Optional[Any] = None,
+                 triage: Optional[Any] = None):
         self.coverage = CoverageMap()
         self.bugs: list[BugRecord] = []
         self.records: list[IterationRecord] = []
         self.checkpoint = checkpoint
+        self.supervisor = supervisor
+        self.triage = triage
         self.log: Optional[Any] = None  # an *entered* CampaignLog
 
     # ------------------------------------------------------------------
@@ -48,7 +61,8 @@ class Collector:
             bug = BugRecord(kind=err.kind, message=err.message,
                             global_rank=err.global_rank,
                             testcase=candidate.testcase,
-                            iteration=iteration, location=err.location)
+                            iteration=iteration, location=err.location,
+                            signature=crash_signature(err))
             self.bugs.append(bug)
         return new_branches, bug
 
@@ -74,16 +88,25 @@ class Collector:
             stragglers=outcome.stragglers,
             degraded=outcome.degraded,
             retries=outcome.retries,
+            harvest_error=outcome.harvest_error,
         )
 
     def record(self, it_rec: IterationRecord, new_branches: set,
                bug: Optional[BugRecord]) -> None:
         """Append + persist one committed iteration (log, delta, ckpt)."""
         self.records.append(it_rec)
+        if bug is not None and self.triage is not None:
+            # dedup + (first occurrence of a signature) minimize and
+            # emit a reproducer artifact next to the log
+            self.triage.on_bug(
+                bug, self.log.path if self.log is not None else None)
         if self.log is not None:
             self.log.write_iteration(it_rec)
             self.log.write_cov_delta(it_rec.iteration, sorted(new_branches))
             if bug is not None:
                 self.log.write_bug(bug)
+            if self.supervisor is not None:
+                for entry in self.supervisor.drain_new_quarantines():
+                    self.log.write_quarantine(entry)
             if self.checkpoint is not None:
                 self.checkpoint(self.log.path, it_rec.elapsed)

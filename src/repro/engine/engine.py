@@ -132,12 +132,32 @@ class CampaignEngine:
             retries=sum(r.retries for r in col.records),
             # snapshot: the report must not alias the live session counters
             solver=self.scheduler.session.stats.snapshot(),
+            supervision=self._supervision_snapshot(),
         )
         if log is not None:
             log.write_solver(result.solver)
+            log.write_supervision(result.supervision)
             log.write_coverage(result)
             log.sync()
         return result
+
+    def _supervision_snapshot(self) -> Optional[dict]:
+        """Supervision + triage telemetry for the final report (None when
+        the collector carries neither — e.g. hand-built engines)."""
+        sup = getattr(self.collector, "supervisor", None)
+        tri = getattr(self.collector, "triage", None)
+        if sup is None and tri is None:
+            return None
+        snapshot: dict = {}
+        if sup is not None:
+            snapshot.update(sup.stats_snapshot().as_dict())
+        if tri is not None:
+            snapshot.update({
+                "unique_signatures": len(tri.seen),
+                "minimized_crashes": tri.minimized,
+                "minimize_probes": tri.probes_spent,
+            })
+        return snapshot
 
     # ------------------------------------------------------------------
     def _launch(self,

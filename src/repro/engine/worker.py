@@ -9,39 +9,78 @@ the parent's — coverage sets and traces shipped back merge cleanly.
 Workers always run with fault injection disabled and ``workers = 1``
 (the façade never routes fault campaigns here, and nested pools would be
 pathological); the per-test timeout is pinned by the submitting batch.
+
+Supervision hooks (both optional, see :mod:`repro.supervise`):
+
+* resource caps — ``worker_init`` applies the configured rlimits and
+  ``worker_run`` re-arms the CPU cap before every task (``RLIMIT_CPU``
+  counts whole-process CPU, so a long-lived worker must keep moving the
+  soft limit ahead of itself);
+* heartbeats — ``worker_run`` touches a per-process heartbeat file
+  before and after each task so the parent can tell a worker that is
+  busy on a slow test from one that is wedged.
 """
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import Optional
 
 from ..core.config import CompiConfig
 from ..core.runner import TestRunner
 from ..core.testcase import TestCase
+from ..supervise.sandbox import (ResourceLimits, apply_rlimits, arm_cpu_limit,
+                                 reclassify_resource)
 from .executor import ExecOutcome, outcome_from_record
 
 #: per-process singleton runner, built by :func:`worker_init`
 _RUNNER: Optional[TestRunner] = None
+#: per-process resource caps (re-armed per task)
+_LIMITS: ResourceLimits = ResourceLimits()
+#: this worker's heartbeat file, when the parent monitors heartbeats
+_HEARTBEAT: Optional[str] = None
 
 
 def worker_init(parent_sys_path: list[str], module_names: list[str],
                 entry_module: str, entry_name: str, program_name: str,
-                config_dict: dict) -> None:
+                config_dict: dict,
+                heartbeat_dir: Optional[str] = None) -> None:
     """Initializer: mirror the parent's import surface, then instrument."""
-    global _RUNNER
+    global _RUNNER, _LIMITS, _HEARTBEAT
     for p in reversed(parent_sys_path):
         if p not in sys.path:
             sys.path.insert(0, p)
     from ..instrument.loader import instrument_program
     program = instrument_program(module_names, entry_module=entry_module,
                                  entry_name=entry_name, name=program_name)
-    _RUNNER = TestRunner(program, CompiConfig.from_dict(config_dict))
+    config = CompiConfig.from_dict(config_dict)
+    _RUNNER = TestRunner(program, config)
+    _LIMITS = ResourceLimits.from_config(config)
+    apply_rlimits(_LIMITS)
+    if heartbeat_dir is not None:
+        _HEARTBEAT = os.path.join(heartbeat_dir, f"hb-{os.getpid()}")
+        _touch_heartbeat()
+
+
+def _touch_heartbeat() -> None:
+    if _HEARTBEAT is None:
+        return
+    try:
+        from ..supervise.pool import HeartbeatMonitor
+        HeartbeatMonitor.touch(_HEARTBEAT)
+    except OSError:  # pragma: no cover - heartbeat dir vanished
+        pass
 
 
 def worker_run(testcase: TestCase, timeout: float) -> ExecOutcome:
     """Run one candidate test case under the pinned batch timeout."""
     if _RUNNER is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker_init was not called in this process")
-    rec, retries = _RUNNER.run_with_retries(testcase, timeout=timeout)
-    return outcome_from_record(rec, retries)
+    _touch_heartbeat()
+    arm_cpu_limit(_LIMITS)
+    try:
+        rec, retries = _RUNNER.run_with_retries(testcase, timeout=timeout)
+        return reclassify_resource(outcome_from_record(rec, retries), _LIMITS)
+    finally:
+        _touch_heartbeat()

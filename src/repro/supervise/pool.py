@@ -1,0 +1,330 @@
+"""Pool supervision: kill accounting, quarantine, breaker, heartbeats.
+
+The parallel executor treats a worker death as a recoverable event, not
+a campaign-fatal one.  The protocol (see ``engine/executor.py``):
+
+1. a pending result that raises ``BrokenProcessPool`` (or whose worker
+   goes heartbeat-stale past the wedge deadline) triggers **recovery**:
+   the broken pool is torn down and the suspect test is re-run *inline,
+   in commit order*, inside the forked sandbox;
+2. if the sandboxed re-run also dies hard, the suspect is **confirmed**
+   as the killer: the kill is attributed to its canonical input and a
+   synthesized ``worker-killed`` outcome commits — exactly what a serial
+   sandboxed campaign produces for the same input, so ``--workers N``
+   stays bit-for-bit identical to serial;
+3. after ``quarantine_kills`` confirmed kills from one canonical input
+   the input is **quarantined**: persisted in the campaign log, honored
+   across ``--resume``, and skipped (with a replayed synthesized
+   outcome) instead of executed;
+4. after ``breaker_rebuilds`` pool teardowns the **circuit breaker**
+   opens and the executor degrades to sandboxed inline execution rather
+   than thrashing pool rebuilds.
+
+Kill attribution is confirmation-based on purpose: when a pool breaks,
+*every* in-flight future of the batch breaks with it, so the raw
+``BrokenProcessPool`` does not identify the killer — innocent siblings
+re-run clean in the sandbox and commit their ordinary results, and only
+the input whose sandboxed re-run dies again is charged with the kill.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.config import CompiConfig
+from ..core.runner import ErrorInfo, KIND_WORKER
+from .sandbox import ResourceLimits, SandboxDeath, run_sandboxed
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.runner import TestRunner
+    from ..core.testcase import TestCase
+    from ..engine.executor import ExecOutcome
+
+
+def canonical_input_key(testcase: "TestCase") -> str:
+    """Stable identity of one test input: inputs + launch setup.
+
+    Invariant under input-dict insertion order, so the same logical test
+    maps to the same key in every session (quarantine must survive
+    ``--resume`` and checkpoint round-trips).
+    """
+    blob = json.dumps([sorted(testcase.inputs.items()),
+                       testcase.setup.nprocs, testcase.setup.focus],
+                      sort_keys=True)
+    return hashlib.sha1(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class QuarantineEntry:
+    """One quarantined canonical input (persisted in the campaign log)."""
+
+    key: str
+    inputs: dict
+    nprocs: int
+    focus: int
+    kills: int
+    error_kind: str
+    error_message: str
+
+    def as_dict(self) -> dict:
+        return {"key": self.key, "inputs": dict(self.inputs),
+                "nprocs": self.nprocs, "focus": self.focus,
+                "kills": self.kills, "error_kind": self.error_kind,
+                "error_message": self.error_message}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "QuarantineEntry":
+        return cls(key=d["key"], inputs=dict(d["inputs"]),
+                   nprocs=d["nprocs"], focus=d["focus"], kills=d["kills"],
+                   error_kind=d["error_kind"],
+                   error_message=d["error_message"])
+
+
+@dataclass
+class SupervisionStats:
+    """Campaign-level supervision telemetry (picklable snapshot)."""
+
+    worker_kills: int = 0
+    pool_rebuilds: int = 0
+    wedge_recoveries: int = 0
+    quarantined: int = 0
+    quarantine_skips: int = 0
+    sandboxed_runs: int = 0
+    breaker_open: bool = False
+
+    def as_dict(self) -> dict:
+        return {"worker_kills": self.worker_kills,
+                "pool_rebuilds": self.pool_rebuilds,
+                "wedge_recoveries": self.wedge_recoveries,
+                "quarantined": self.quarantined,
+                "quarantine_skips": self.quarantine_skips,
+                "sandboxed_runs": self.sandboxed_runs,
+                "breaker_open": self.breaker_open}
+
+
+class HeartbeatMonitor:
+    """Per-worker heartbeat files: "busy on a long solve" vs "wedged".
+
+    Workers touch their heartbeat file around every task; the parent
+    checks the *newest* mtime across the pool.  A worker past its pinned
+    batch timeout with a fresh pool heartbeat is busy (some worker is
+    making progress — keep waiting); a pool whose newest heartbeat is
+    older than ``stale_after`` has stopped making progress entirely.
+    """
+
+    def __init__(self, stale_after: float):
+        self.stale_after = stale_after
+        self.dir = tempfile.mkdtemp(prefix="compi-hb-")
+
+    def path_for(self, pid: int) -> str:
+        return os.path.join(self.dir, f"hb-{pid}")
+
+    @staticmethod
+    def touch(path: str) -> None:
+        """Touch one heartbeat file (called from the worker process)."""
+        with open(path, "a"):
+            os.utime(path, None)
+
+    def newest(self) -> Optional[float]:
+        """mtime of the most recent heartbeat, None when no worker ever
+        checked in (spawn still importing — treat as alive, not wedged)."""
+        newest: Optional[float] = None
+        try:
+            names = os.listdir(self.dir)
+        except OSError:
+            return None
+        for name in names:
+            try:
+                mtime = os.stat(os.path.join(self.dir, name)).st_mtime
+            except OSError:
+                continue
+            newest = mtime if newest is None else max(newest, mtime)
+        return newest
+
+    def stale(self, now: Optional[float] = None) -> bool:
+        """True when every worker heartbeat is older than the threshold."""
+        newest = self.newest()
+        if newest is None:
+            return False
+        now = time.time() if now is None else now
+        return now - newest > self.stale_after
+
+    def cleanup(self) -> None:
+        try:
+            for name in os.listdir(self.dir):
+                try:
+                    os.unlink(os.path.join(self.dir, name))
+                except OSError:
+                    pass
+            os.rmdir(self.dir)
+        except OSError:
+            pass
+
+
+class CampaignSupervisor:
+    """Shared supervision state for one campaign (all executors).
+
+    Owns the resource limits, the sandboxed inline path, kill counts and
+    the quarantine list, and the pool circuit breaker.  The committed
+    iteration stream drives every state change, so serial and parallel
+    campaigns evolve identical quarantine state.
+    """
+
+    def __init__(self, config: CompiConfig, runner: "TestRunner"):
+        self.config = config
+        self.runner = runner
+        self.limits = ResourceLimits.from_config(config)
+        self.kill_counts: dict[str, int] = {}
+        self.quarantine: dict[str, QuarantineEntry] = {}
+        #: entries quarantined since the collector last drained (log I/O)
+        self._fresh_quarantines: list[QuarantineEntry] = []
+        self.stats = SupervisionStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def sandbox_inline(self) -> bool:
+        """Inline executions go through the forked sandbox."""
+        return self.config.sandbox_enabled()
+
+    @property
+    def breaker_open(self) -> bool:
+        return self.stats.breaker_open
+
+    # ------------------------------------------------------------------
+    # quarantine bookkeeping
+    # ------------------------------------------------------------------
+    def is_quarantined(self, testcase: "TestCase") -> bool:
+        return canonical_input_key(testcase) in self.quarantine
+
+    def record_kill(self, testcase: "TestCase",
+                    death: SandboxDeath) -> Optional[QuarantineEntry]:
+        """Charge one *confirmed* hard kill to the test's canonical input.
+
+        Returns the new quarantine entry when this kill crossed the
+        ``quarantine_kills`` threshold, else None.
+        """
+        key = canonical_input_key(testcase)
+        self.kill_counts[key] = self.kill_counts.get(key, 0) + 1
+        self.stats.worker_kills += 1
+        if (key not in self.quarantine
+                and self.kill_counts[key] >= self.config.quarantine_kills):
+            entry = QuarantineEntry(
+                key=key, inputs=dict(testcase.inputs),
+                nprocs=testcase.setup.nprocs, focus=testcase.setup.focus,
+                kills=self.kill_counts[key], error_kind=death.kind,
+                error_message=death.message(self.limits))
+            self.quarantine[key] = entry
+            self._fresh_quarantines.append(entry)
+            self.stats.quarantined = len(self.quarantine)
+            return entry
+        return None
+
+    def drain_new_quarantines(self) -> list[QuarantineEntry]:
+        """New entries since the last drain (the collector persists them
+        right after the iteration that confirmed the kill)."""
+        fresh, self._fresh_quarantines = self._fresh_quarantines, []
+        return fresh
+
+    def load_entries(self, entries: list[QuarantineEntry]) -> None:
+        """Restore quarantine state on resume (checkpoint or JSONL)."""
+        for entry in entries:
+            self.quarantine[entry.key] = entry
+            self.kill_counts[entry.key] = max(
+                self.kill_counts.get(entry.key, 0), entry.kills)
+        self.stats.quarantined = len(self.quarantine)
+
+    # ------------------------------------------------------------------
+    # pool lifecycle telemetry
+    # ------------------------------------------------------------------
+    def note_rebuild(self, wedged: bool = False) -> None:
+        """One pool teardown; opens the breaker past the threshold."""
+        self.stats.pool_rebuilds += 1
+        if wedged:
+            self.stats.wedge_recoveries += 1
+        if self.stats.pool_rebuilds >= self.config.breaker_rebuilds:
+            self.stats.breaker_open = True
+
+    # ------------------------------------------------------------------
+    # synthesized outcomes
+    # ------------------------------------------------------------------
+    def _synthesized(self, testcase: "TestCase", kind: str,
+                     message: str) -> "ExecOutcome":
+        from ..concolic.coverage import CoverageMap
+        from ..engine.executor import ExecOutcome
+        # timed_out=True keeps the synthesized (zero) wall time out of
+        # the runner's EWMA while still counting the run
+        return ExecOutcome(
+            testcase=testcase, trace=None, coverage=CoverageMap(),
+            error=ErrorInfo(kind=kind, global_rank=-1, message=message),
+            wall_time=0.0, timed_out=True)
+
+    def death_outcome(self, testcase: "TestCase",
+                      death: SandboxDeath) -> "ExecOutcome":
+        return self._synthesized(testcase, death.kind,
+                                 death.message(self.limits))
+
+    def quarantine_outcome(self, testcase: "TestCase") -> "ExecOutcome":
+        """Replay the quarantined input's recorded failure without
+        executing anything — same error kind and message as the original
+        kill, so dedup folds the skip into the confirmed bug."""
+        entry = self.quarantine[canonical_input_key(testcase)]
+        self.stats.quarantine_skips += 1
+        return self._synthesized(testcase, entry.error_kind,
+                                 entry.error_message)
+
+    # ------------------------------------------------------------------
+    # the supervised inline path (serial sandbox + pool recovery)
+    # ------------------------------------------------------------------
+    def run_inline(self, testcase: "TestCase", timeout: Optional[float],
+                   note: bool = True) -> "ExecOutcome":
+        """One supervised inline execution, in commit order.
+
+        Quarantined inputs are skipped; everything else runs in the
+        forked sandbox.  A hard death is charged to the input and
+        surfaces as a synthesized outcome; the runner's EWMA/run counter
+        are fed exactly as the pool path feeds them (``note=False`` when
+        the calling executor does its own commit-order noting), so the
+        committed stream is executor-agnostic.
+        """
+        if self.is_quarantined(testcase):
+            outcome = self.quarantine_outcome(testcase)
+        else:
+            self.stats.sandboxed_runs += 1
+            result, death = run_sandboxed(self.runner, testcase, timeout,
+                                          self.limits)
+            if death is None:
+                outcome = result
+            else:
+                if death.kind == KIND_WORKER:
+                    self.record_kill(testcase, death)
+                outcome = self.death_outcome(testcase, death)
+        if note:
+            self.runner.note_external_run(outcome.wall_time,
+                                          outcome.timed_out)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def stats_snapshot(self) -> SupervisionStats:
+        return SupervisionStats(**self.stats.as_dict())
+
+    def state_dict(self) -> dict:
+        """Checkpointable slice: what exact resume must restore.
+
+        Rebuild/wedge counters are infrastructure telemetry of *this*
+        process, not campaign state — they restart at zero on resume.
+        """
+        return {"kill_counts": dict(self.kill_counts),
+                "quarantine": [e.as_dict() for e in self.quarantine.values()]}
+
+    def load_state(self, state: dict) -> None:
+        self.kill_counts.update(state.get("kill_counts", {}))
+        self.load_entries([QuarantineEntry.from_dict(d)
+                           for d in state.get("quarantine", [])])

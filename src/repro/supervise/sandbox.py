@@ -1,0 +1,236 @@
+"""Fork-isolated, resource-capped execution of one test.
+
+The virtual MPI substrate runs target ranks on *threads of the campaign
+process*, so a target that dies hard — ``os._exit``, a fatal signal, a
+runaway allocation the kernel answers with SIGKILL — takes the whole
+campaign with it.  :func:`run_sandboxed` forks a child, applies the
+configured ``resource`` rlimits, runs the test there, and ships the
+picklable :class:`~repro.engine.executor.ExecOutcome` back over a pipe:
+
+* a clean child returns the outcome exactly as an in-process run would
+  (execution is a pure function of the test case);
+* a child that raises a harness-level exception re-raises it in the
+  parent, matching the unsandboxed inline path and the pool path;
+* a child that dies hard yields a :class:`SandboxDeath` the supervisor
+  turns into a synthesized ``worker-killed`` / ``oom`` / ``cpu-cap``
+  outcome — the campaign keeps going.
+
+The same rlimits are applied inside spawn pool workers
+(:func:`apply_rlimits` in ``worker_init``, :func:`arm_cpu_limit` per
+task), so a resource hog dies the same death under either executor.
+
+Platform note: forking requires POSIX (``os.fork``); on platforms
+without it the sandbox degrades to an unprotected in-process run.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import pickle
+import signal
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from ..core.config import CompiConfig
+from ..core.runner import KIND_CPU, KIND_OOM, KIND_SEGFAULT, KIND_WORKER
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..core.runner import TestRunner
+    from ..core.testcase import TestCase
+    from ..engine.executor import ExecOutcome
+
+#: child exit status when even shipping the failure payload failed
+_CHILD_INTERNAL_ERROR = 83
+
+
+def sandbox_supported() -> bool:
+    """Fork-based sandboxing needs a POSIX fork."""
+    return hasattr(os, "fork")
+
+
+@dataclass(frozen=True)
+class ResourceLimits:
+    """The per-run resource caps of one campaign (pure data)."""
+
+    max_rss_mb: Optional[int] = None
+    max_cpu_s: Optional[float] = None
+
+    @classmethod
+    def from_config(cls, config: CompiConfig) -> "ResourceLimits":
+        return cls(max_rss_mb=config.max_rss_mb, max_cpu_s=config.max_cpu_s)
+
+    @property
+    def any(self) -> bool:
+        return self.max_rss_mb is not None or self.max_cpu_s is not None
+
+
+@dataclass(frozen=True)
+class SandboxDeath:
+    """A hard child death, classified against the active rlimits."""
+
+    kind: str       # KIND_WORKER | KIND_OOM | KIND_CPU
+    desc: str       # deterministic: "exit code 1", "signal 9 (SIGKILL)", …
+
+    def message(self, limits: ResourceLimits) -> str:
+        """Deterministic error message (pure function of death + caps)."""
+        if self.kind == KIND_CPU:
+            return (f"CPU rlimit exceeded "
+                    f"({limits.max_cpu_s}s cap; {self.desc})")
+        if self.kind == KIND_OOM:
+            return (f"address-space rlimit exceeded "
+                    f"({limits.max_rss_mb} MB cap; {self.desc})")
+        return f"worker process died mid-run ({self.desc})"
+
+
+def _set_soft(res: int, soft: int) -> None:
+    """Set a soft rlimit, never touching (or exceeding) the hard limit."""
+    import resource
+    _, hard = resource.getrlimit(res)
+    if hard != resource.RLIM_INFINITY:
+        soft = min(soft, hard)
+    resource.setrlimit(res, (soft, hard))
+
+
+def apply_rlimits(limits: ResourceLimits) -> None:
+    """Apply the address-space cap (absolute) and arm the CPU cap.
+
+    Called once per sandbox child and once per spawn-worker initializer.
+    No-op without caps or without the ``resource`` module (non-POSIX).
+    """
+    if not limits.any:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    if limits.max_rss_mb is not None:
+        _set_soft(resource.RLIMIT_AS, limits.max_rss_mb * 1024 * 1024)
+    arm_cpu_limit(limits)
+
+
+def arm_cpu_limit(limits: ResourceLimits) -> None:
+    """(Re-)arm the CPU cap relative to CPU already consumed.
+
+    ``RLIMIT_CPU`` counts whole-process CPU, so a long-lived pool worker
+    must raise the soft limit before every task — otherwise the cap
+    would measure the worker's lifetime, not the run.  The hard limit is
+    never lowered, so re-raising the soft limit stays legal.
+    """
+    if limits.max_cpu_s is None:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    used = resource.getrusage(resource.RUSAGE_SELF)
+    consumed = used.ru_utime + used.ru_stime
+    _set_soft(resource.RLIMIT_CPU,
+              int(math.ceil(consumed + limits.max_cpu_s)))
+
+
+def reclassify_resource(outcome: "ExecOutcome",
+                        limits: ResourceLimits) -> "ExecOutcome":
+    """Rewrite an rlimit-induced MemoryError from ``segfault`` to ``oom``.
+
+    Under ``RLIMIT_AS`` a too-large allocation raises MemoryError inside
+    the target, which the paper-taxonomy classifier files under
+    ``segfault``.  With a cap configured that is a resource kill, not a
+    target bug of the segfault family — give it its own kind so triage
+    does not conflate them.  Applied in the sandbox child and in the
+    spawn worker (both see the in-process exception).
+    """
+    import dataclasses
+    err = outcome.error
+    if (limits.max_rss_mb is not None and err is not None
+            and err.kind == KIND_SEGFAULT
+            and err.message.startswith("MemoryError")):
+        outcome.error = dataclasses.replace(err, kind=KIND_OOM)
+    return outcome
+
+
+def _death_from_status(status: int, limits: ResourceLimits) -> SandboxDeath:
+    """Classify a ``waitpid`` status against the active rlimits."""
+    if os.WIFSIGNALED(status):
+        sig = os.WTERMSIG(status)
+        try:
+            name = signal.Signals(sig).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = "?"
+        desc = f"signal {sig} ({name})"
+        if limits.max_cpu_s is not None and sig == signal.SIGXCPU:
+            return SandboxDeath(kind=KIND_CPU, desc=desc)
+        if limits.max_rss_mb is not None and sig == signal.SIGKILL:
+            # the kernel OOM killer answers over-cap RSS with SIGKILL
+            return SandboxDeath(kind=KIND_OOM, desc=desc)
+        return SandboxDeath(kind=KIND_WORKER, desc=desc)
+    code = os.WEXITSTATUS(status)
+    return SandboxDeath(kind=KIND_WORKER, desc=f"exit code {code}")
+
+
+def _child_main(write_fd: int, runner: "TestRunner", testcase: "TestCase",
+                timeout: Optional[float], limits: ResourceLimits) -> None:
+    """Sandbox child: run the test, ship ``(tag, payload)``, exit.
+
+    Never returns.  Ships ``("ok", outcome)`` for a completed run —
+    including runs that classified a target bug — or ``("err", exc)``
+    for a harness-level exception, which the parent re-raises so the
+    sandboxed inline path behaves exactly like the unsandboxed one.
+    """
+    status = 0
+    try:
+        from ..engine.executor import outcome_from_record
+        apply_rlimits(limits)
+        try:
+            rec, retries = runner.run_with_retries(testcase, timeout=timeout)
+            out = reclassify_resource(outcome_from_record(rec, retries),
+                                      limits)
+            payload = pickle.dumps(("ok", out),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        except BaseException as exc:  # ship the exception, parent re-raises
+            payload = pickle.dumps(("err", exc),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+        with os.fdopen(write_fd, "wb") as fh:
+            fh.write(payload)
+    except BaseException:
+        status = _CHILD_INTERNAL_ERROR
+    finally:
+        os._exit(status)
+
+
+def run_sandboxed(runner: "TestRunner", testcase: "TestCase",
+                  timeout: Optional[float], limits: ResourceLimits
+                  ) -> tuple[Optional["ExecOutcome"], Optional[SandboxDeath]]:
+    """Run one test in a forked, rlimit-capped child.
+
+    Returns ``(outcome, None)`` for a completed run, ``(None, death)``
+    when the child died hard, and re-raises any harness-level exception
+    the child shipped (parity with the unsandboxed executors).  Without
+    ``os.fork`` the run degrades to an unprotected in-process execution.
+    """
+    if not sandbox_supported():  # pragma: no cover - non-POSIX fallback
+        from ..engine.executor import outcome_from_record
+        rec, retries = runner.run_with_retries(testcase, timeout=timeout)
+        return outcome_from_record(rec, retries), None
+
+    read_fd, write_fd = os.pipe()
+    pid = os.fork()
+    if pid == 0:  # pragma: no cover - child exits via os._exit
+        os.close(read_fd)
+        _child_main(write_fd, runner, testcase, timeout, limits)
+    os.close(write_fd)
+    # read to EOF *before* waitpid: a large trace can overfill the pipe
+    # buffer, and a child blocked on write never exits
+    with os.fdopen(read_fd, "rb") as fh:
+        data = fh.read()
+    _, wait_status = os.waitpid(pid, 0)
+    if data:
+        try:
+            tag, value = pickle.loads(data)
+        except Exception:
+            # torn payload: the child died mid-write
+            return None, _death_from_status(wait_status, limits)
+        if tag == "ok":
+            return value, None
+        raise value
+    return None, _death_from_status(wait_status, limits)

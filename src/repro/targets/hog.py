@@ -1,0 +1,35 @@
+"""A resource-hog target for sandbox rlimit tests (not for campaigns).
+
+Inputs are deliberately **unmarked** (no ``compi_int``): the concolic
+search must never be able to steer a campaign into a multi-gigabyte
+allocation or a CPU spin, and random restarts draw from the spec
+defaults' neighborhood only for *marked* variables.  Tests construct
+explicit :class:`~repro.core.testcase.TestCase` values instead:
+
+* ``mem = 1`` — allocate far past any sane ``max_rss_mb`` cap; under
+  ``RLIMIT_AS`` this raises ``MemoryError`` in-process (classified
+  ``oom``) or draws a kernel SIGKILL;
+* ``spin = 1`` — burn CPU without yielding; under ``RLIMIT_CPU`` the
+  kernel delivers SIGXCPU (classified ``cpu-cap``).
+"""
+
+INPUT_SPEC = {
+    "mem": {"default": 0, "lo": 0, "hi": 1},
+    "spin": {"default": 0, "lo": 0, "hi": 1},
+}
+
+#: bytes the mem hog tries to allocate (~6 GB, far over test caps)
+HOG_BYTES = 6 * 1024 ** 3
+
+
+def main(mpi, args):
+    mpi.Init()
+    if int(args.get("mem", 0)):
+        blob = bytearray(HOG_BYTES)
+        blob[-1] = 1  # force the pages to exist
+    if int(args.get("spin", 0)):
+        acc = 0
+        while True:  # runs until SIGXCPU (or the watchdog timeout)
+            acc = (acc * 1103515245 + 12345) % (2 ** 31)
+    mpi.Finalize()
+    return 0

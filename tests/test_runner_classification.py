@@ -141,3 +141,80 @@ def test_one_way_blows_up_nonfocus_logs(demo_program):
 def test_runner_reports_wall_time(demo_program):
     rec = run_once(demo_program, CompiConfig(seed=1))
     assert rec.wall_time > 0
+
+
+# ----------------------------------------------------------------------
+# chained tracebacks (regressions for crash_location / root_cause_block)
+# ----------------------------------------------------------------------
+_CHAINED_TB = (
+    'Traceback (most recent call last):\n'
+    '  File "/x/targets/solver.py", line 12, in step\n'
+    '    grid[i] = v\n'
+    'IndexError: list index out of range\n'
+    '\n'
+    'During handling of the above exception, another exception occurred:\n'
+    '\n'
+    'Traceback (most recent call last):\n'
+    '  File "/x/targets/driver.py", line 40, in main\n'
+    '    step(grid)\n'
+    '  File "/x/targets/driver.py", line 88, in report\n'
+    '    raise RuntimeError("step failed") from exc\n'
+    'RuntimeError: step failed\n')
+
+
+def test_crash_location_chained_traceback_prefers_root_cause():
+    # the bug site is where the *first* exception was raised, not the
+    # frame that re-raised it inside an except/finally block
+    assert crash_location(_CHAINED_TB) == "solver.py:12:step"
+
+
+def test_crash_location_explicit_cause_chain():
+    tb = _CHAINED_TB.replace(
+        "During handling of the above exception, another exception occurred:",
+        "The above exception was the direct cause of the following exception:")
+    assert crash_location(tb) == "solver.py:12:step"
+
+
+def test_traceback_frames_stop_at_chain_boundary():
+    from repro.core import traceback_frames
+
+    frames = traceback_frames(_CHAINED_TB)
+    assert frames == ["solver.py:12:step"]
+
+
+def test_chained_traceback_with_helper_root_frame():
+    # root-cause selection composes with helper-frame skipping: the
+    # cmem.py raise site is runtime plumbing, its caller is the bug
+    tb = ('Traceback (most recent call last):\n'
+          '  File "/x/targets/fields.py", line 57, in alloc\n'
+          '    src.store(n, f, 8)\n'
+          '  File "/x/targets/cmem.py", line 60, in store\n'
+          '    raise SegfaultError("boom")\n'
+          '\n'
+          'During handling of the above exception, '
+          'another exception occurred:\n'
+          '\n'
+          'Traceback (most recent call last):\n'
+          '  File "/x/targets/driver.py", line 9, in main\n'
+          '    raise RuntimeError("wrapped")\n'
+          'RuntimeError: wrapped\n')
+    assert crash_location(tb) == "fields.py:57:alloc"
+
+
+# ----------------------------------------------------------------------
+# harvest failure (regression for the silent `except Exception`)
+# ----------------------------------------------------------------------
+def test_harvest_failure_degrades_and_records_cause(demo_program,
+                                                    monkeypatch):
+    from repro.concolic.trace import HeavySink
+
+    def boom(self):
+        raise ValueError("synthetic harvest failure")
+
+    monkeypatch.setattr(HeavySink, "result", boom)
+    rec = run_once(demo_program, CompiConfig(seed=1))
+    assert rec.degraded and rec.trace is None
+    assert rec.error is None  # the target itself ran clean
+    # the swallowed exception is preserved, typed and located
+    assert rec.harvest_error.startswith("ValueError: synthetic harvest")
+    assert "@" in rec.harvest_error

@@ -1,0 +1,501 @@
+"""Supervised execution: pool death recovery, sandboxing, quarantine,
+crash triage and input minimization.
+
+The anchor test is the PR's acceptance criterion: a campaign whose
+worker is hard-killed mid-iteration (``os._exit`` from the target)
+finishes, with a final report bit-for-bit identical between ``--workers
+2`` and the serial sandboxed run, the killing input quarantined, and a
+minimized reproducer artifact emitted next to the campaign log.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.core import Compi, CompiConfig, KIND_CPU, KIND_OOM, KIND_WORKER
+from repro.core.conflicts import TestSetup
+from repro.core.persist import CampaignLog, checkpoint_path, load_campaign
+from repro.core.runner import ErrorInfo, TestRunner
+from repro.core.testcase import TestCase
+from repro.instrument import instrument_program
+from repro.supervise import (CampaignSupervisor, HeartbeatMonitor,
+                             QuarantineEntry, ResourceLimits, crash_signature,
+                             ddmin, load_artifacts, minimize_inputs,
+                             repro_dir, run_sandboxed, signature_filename)
+from repro.supervise.pool import canonical_input_key
+from repro.supervise.sandbox import SandboxDeath
+
+
+@pytest.fixture(scope="module")
+def killer_program():
+    prog = instrument_program(["repro.targets.killer"],
+                              entry_module="repro.targets.killer")
+    yield prog
+    prog.unload()
+
+
+@pytest.fixture(scope="module")
+def hog_program():
+    prog = instrument_program(["repro.targets.hog"],
+                              entry_module="repro.targets.hog")
+    yield prog
+    prog.unload()
+
+
+@pytest.fixture(scope="module")
+def demo_program():
+    prog = instrument_program(["repro.targets.demo"])
+    yield prog
+    prog.unload()
+
+
+def _cfg(**kw):
+    base = dict(seed=7, init_nprocs=2, nprocs_cap=4, test_timeout=10.0)
+    base.update(kw)
+    return CompiConfig(**base)
+
+
+def _proj(result):
+    """The deterministic projection of a campaign (no wall-clock noise)."""
+    return dict(
+        branches=sorted(result.coverage.branches),
+        bugs=[(b.kind, b.location, b.signature,
+               sorted(b.testcase.inputs.items()))
+              for b in result.bugs],
+        iterations=[(r.iteration, r.origin, r.nprocs, r.path_len,
+                     r.covered_after, r.error_kind, r.negated_site)
+                    for r in result.iterations],
+    )
+
+
+def _setup(nprocs=2, focus=0):
+    return TestSetup(nprocs=nprocs, focus=focus)
+
+
+# ----------------------------------------------------------------------
+# ddmin / input minimization
+# ----------------------------------------------------------------------
+def test_ddmin_finds_minimal_pair():
+    mini, spent = ddmin(list(range(16)),
+                        lambda sub: 3 in sub and 11 in sub, budget=200)
+    assert sorted(mini) == [3, 11]
+    assert spent <= 200
+
+
+def test_ddmin_single_culprit():
+    mini, _ = ddmin(list(range(8)), lambda sub: 5 in sub, budget=100)
+    assert mini == [5]
+
+
+def test_ddmin_budget_exhaustion_returns_best_so_far():
+    calls = []
+
+    def probe(sub):
+        calls.append(tuple(sub))
+        return 3 in sub and 11 in sub
+
+    mini, spent = ddmin(list(range(16)), probe, budget=3)
+    assert spent == 3 == len(calls)
+    # still a failing superset of the true minimum
+    assert 3 in mini and 11 in mini
+
+
+def test_minimize_inputs_resets_irrelevant_keys_to_defaults():
+    inputs = {"a": 5, "b": -9, "c": 42}
+    defaults = {"a": 1, "b": 2, "c": 3}
+    mini, spent = minimize_inputs(inputs, defaults,
+                                  lambda d: d["b"] == -9, budget=50)
+    assert mini == {"a": 1, "b": -9, "c": 3}
+    assert spent >= 1
+
+
+def test_minimize_inputs_no_delta_is_free():
+    mini, spent = minimize_inputs({"a": 1}, {"a": 1}, lambda d: True,
+                                  budget=50)
+    assert mini == {"a": 1} and spent == 0
+
+
+def test_minimize_inputs_key_without_default_is_kept():
+    mini, _ = minimize_inputs({"a": 5, "extra": 7}, {"a": 1},
+                              lambda d: True, budget=50)
+    assert mini["extra"] == 7
+
+
+# ----------------------------------------------------------------------
+# crash signatures
+# ----------------------------------------------------------------------
+_TB = ('Traceback (most recent call last):\n'
+       '  File "/x/targets/solver.py", line 57, in step\n'
+       '    v = grid[i]\n'
+       'IndexError: list index out of range\n')
+
+
+def test_signature_stable_across_message_payloads():
+    a = ErrorInfo("segfault", 0, "IndexError: oob (i=3)", _TB,
+                  "solver.py:57:step")
+    b = ErrorInfo("segfault", 1, "IndexError: oob (i=99)", _TB,
+                  "solver.py:57:step")
+    assert crash_signature(a) == crash_signature(b)
+
+
+def test_signature_distinguishes_kinds_and_stacks():
+    a = ErrorInfo("segfault", 0, "IndexError: oob", _TB, "solver.py:57:step")
+    b = ErrorInfo("assert", 0, "IndexError: oob", _TB, "solver.py:57:step")
+    other_tb = _TB.replace("step", "other_fn")
+    c = ErrorInfo("segfault", 0, "IndexError: oob", other_tb,
+                  "solver.py:57:other_fn")
+    sigs = {crash_signature(e) for e in (a, b, c)}
+    assert len(sigs) == 3
+
+
+def test_signature_ignores_line_numbers():
+    moved = _TB.replace("line 57", "line 99")
+    a = ErrorInfo("segfault", 0, "IndexError: oob", _TB, "solver.py:57:step")
+    b = ErrorInfo("segfault", 0, "IndexError: oob", moved,
+                  "solver.py:57:step")
+    assert crash_signature(a) == crash_signature(b)
+
+
+def test_signature_filename_is_safe():
+    name = signature_filename("segfault@solver.py:57:step#ab12cd34")
+    assert "/" not in name and name.endswith(".json")
+    assert signature_filename("worker-killed@?#95fb2009") == \
+        "worker-killed@-#95fb2009.json"
+
+
+# ----------------------------------------------------------------------
+# sandbox
+# ----------------------------------------------------------------------
+def test_sandbox_clean_run_matches_inline(demo_program):
+    cfg = _cfg()
+    tc = TestCase(inputs={"x": 10, "y": 200}, setup=_setup(nprocs=3))
+    inline = TestRunner(demo_program, cfg).run(tc)
+    out, death = run_sandboxed(TestRunner(demo_program, cfg), tc, 10.0,
+                               ResourceLimits())
+    assert death is None
+    assert out.error is None and inline.error is None
+    assert out.coverage.branches == inline.coverage.branches
+    assert [c.site for c in out.trace.path] == \
+        [c.site for c in inline.trace.path]
+
+
+def test_sandbox_catches_hard_exit(killer_program):
+    cfg = _cfg()
+    tc = TestCase(inputs={"x": 0, "y": 5}, setup=_setup())
+    out, death = run_sandboxed(TestRunner(killer_program, cfg), tc, 10.0,
+                               ResourceLimits())
+    assert out is None
+    assert death.kind == KIND_WORKER
+    assert death.desc == "exit code 1"
+    msg = death.message(ResourceLimits())
+    assert "died mid-run" in msg and "exit code 1" in msg
+
+
+def test_sandbox_rss_cap_classifies_oom(hog_program):
+    cfg = _cfg(max_rss_mb=2048)
+    tc = TestCase(inputs={"mem": 1, "spin": 0}, setup=_setup())
+    out, death = run_sandboxed(TestRunner(hog_program, cfg), tc, 10.0,
+                               ResourceLimits.from_config(cfg))
+    # RLIMIT_AS surfaces as an in-process MemoryError, reclassified from
+    # the segfault family to the distinct oom kind
+    if death is not None:  # kernel chose SIGKILL instead
+        assert death.kind == KIND_OOM
+    else:
+        assert out.error is not None and out.error.kind == KIND_OOM
+
+
+def test_sandbox_cpu_cap_classifies_sigxcpu(hog_program):
+    cfg = _cfg(max_cpu_s=1.0, test_timeout=30.0)
+    tc = TestCase(inputs={"mem": 0, "spin": 1}, setup=_setup())
+    out, death = run_sandboxed(TestRunner(hog_program, cfg), tc, 30.0,
+                               ResourceLimits.from_config(cfg))
+    assert out is None
+    assert death.kind == KIND_CPU
+    assert "SIGXCPU" in death.desc
+
+
+def test_sandbox_enabled_auto_on_with_caps():
+    assert not CompiConfig().sandbox_enabled()
+    assert CompiConfig(max_rss_mb=100).sandbox_enabled()
+    assert CompiConfig(max_cpu_s=1.0).sandbox_enabled()
+    assert CompiConfig(sandbox=True).sandbox_enabled()
+    assert not CompiConfig(sandbox=False, max_rss_mb=100).sandbox_enabled()
+
+
+# ----------------------------------------------------------------------
+# supervisor units: kill accounting, quarantine, breaker, heartbeats
+# ----------------------------------------------------------------------
+def _mk_supervisor(program, **cfg_kw):
+    cfg = _cfg(**cfg_kw)
+    return CampaignSupervisor(cfg, TestRunner(program, cfg))
+
+
+def test_quarantine_threshold(demo_program):
+    sup = _mk_supervisor(demo_program, quarantine_kills=2)
+    tc = TestCase(inputs={"x": 1, "y": 2}, setup=_setup())
+    death = SandboxDeath(kind=KIND_WORKER, desc="exit code 1")
+    assert sup.record_kill(tc, death) is None          # 1st kill: counted
+    assert not sup.is_quarantined(tc)
+    entry = sup.record_kill(tc, death)                 # 2nd: quarantined
+    assert entry is not None and entry.kills == 2
+    assert sup.is_quarantined(tc)
+    assert sup.drain_new_quarantines() == [entry]
+    assert sup.drain_new_quarantines() == []           # drained once
+
+
+def test_canonical_key_ignores_input_order_but_not_setup():
+    a = TestCase(inputs={"x": 1, "y": 2}, setup=_setup())
+    b = TestCase(inputs={"y": 2, "x": 1}, setup=_setup(), origin="restart")
+    c = TestCase(inputs={"x": 1, "y": 2}, setup=_setup(nprocs=3))
+    assert canonical_input_key(a) == canonical_input_key(b)
+    assert canonical_input_key(a) != canonical_input_key(c)
+
+
+def test_quarantine_outcome_replays_recorded_error(demo_program):
+    sup = _mk_supervisor(demo_program)
+    tc = TestCase(inputs={"x": 1, "y": 2}, setup=_setup())
+    sup.record_kill(tc, SandboxDeath(kind=KIND_WORKER, desc="exit code 1"))
+    out = sup.quarantine_outcome(tc)
+    assert out.error.kind == KIND_WORKER
+    assert out.trace is None and out.timed_out
+    assert out.wall_time == 0.0
+    assert sup.stats.quarantine_skips == 1
+
+
+def test_breaker_opens_after_threshold(demo_program):
+    sup = _mk_supervisor(demo_program, breaker_rebuilds=3)
+    assert not sup.breaker_open
+    sup.note_rebuild()
+    sup.note_rebuild(wedged=True)
+    assert not sup.breaker_open
+    sup.note_rebuild()
+    assert sup.breaker_open
+    assert sup.stats.pool_rebuilds == 3
+    assert sup.stats.wedge_recoveries == 1
+
+
+def test_supervisor_state_roundtrip(demo_program):
+    sup = _mk_supervisor(demo_program)
+    tc = TestCase(inputs={"x": 1, "y": 2}, setup=_setup())
+    sup.record_kill(tc, SandboxDeath(kind=KIND_WORKER, desc="exit code 1"))
+    state = sup.state_dict()
+    fresh = _mk_supervisor(demo_program)
+    fresh.load_state(state)
+    assert fresh.is_quarantined(tc)
+    assert fresh.kill_counts == sup.kill_counts
+    # rebuild telemetry is per-process, not campaign state
+    assert fresh.stats.pool_rebuilds == 0
+
+
+def test_quarantine_entry_roundtrip():
+    entry = QuarantineEntry(key="k", inputs={"x": 1}, nprocs=2, focus=0,
+                            kills=1, error_kind=KIND_WORKER,
+                            error_message="worker process died mid-run (x)")
+    assert QuarantineEntry.from_dict(entry.as_dict()) == entry
+
+
+def test_heartbeat_monitor_staleness(tmp_path):
+    mon = HeartbeatMonitor(stale_after=5.0)
+    try:
+        assert mon.newest() is None
+        assert not mon.stale()  # no worker checked in yet: not wedged
+        path = mon.path_for(1234)
+        HeartbeatMonitor.touch(path)
+        newest = mon.newest()
+        assert newest is not None
+        assert not mon.stale(now=newest + 4.9)
+        assert mon.stale(now=newest + 5.1)
+        # a second, fresher worker keeps the pool alive
+        HeartbeatMonitor.touch(mon.path_for(5678))
+        os.utime(mon.path_for(5678), (newest + 10, newest + 10))
+        assert not mon.stale(now=newest + 5.1)
+    finally:
+        mon.cleanup()
+    assert not os.path.isdir(mon.dir)
+
+
+# ----------------------------------------------------------------------
+# the acceptance test: hard-killed worker, parallel ≡ serial
+# ----------------------------------------------------------------------
+def _killer_campaign(tmp_path, tag, iterations=12, resume=False, **cfg_kw):
+    base = dict(sandbox=True, minimize_probes=16)
+    base.update(cfg_kw)
+    cfg = _cfg(**base)
+    prog = instrument_program(["repro.targets.killer"],
+                              entry_module="repro.targets.killer")
+    path = tmp_path / f"camp-{tag}.jsonl"
+    try:
+        if resume:
+            compi = Compi.resume(prog, path)
+            log = CampaignLog(path, mode="a")
+        else:
+            compi = Compi(prog, cfg)
+            log = CampaignLog(path)
+        with compi, log:
+            result = compi.run(iterations=iterations, log=log)
+        return result, path, compi
+    finally:
+        prog.unload()
+
+
+def test_killed_worker_campaign_matches_serial(tmp_path):
+    """A target that os._exit()s mid-iteration must not kill the
+    campaign, and --workers 2 must commit the exact serial stream."""
+    serial, p1, c1 = _killer_campaign(tmp_path, "serial", workers=1)
+    parallel, p2, c2 = _killer_campaign(tmp_path, "par", workers=2)
+
+    assert _proj(serial) == _proj(parallel)
+    assert len(serial.iterations) == 12  # the campaign finished
+
+    # the kill was confirmed, classified and quarantined in both modes
+    kinds = {b.kind for b in serial.bugs}
+    assert KIND_WORKER in kinds
+    for result in (serial, parallel):
+        sup = result.supervision
+        assert sup["worker_kills"] >= 1
+        assert sup["quarantined"] >= 1
+        assert sup["unique_signatures"] >= 1
+    # only the parallel run pays pool rebuilds; the committed stream
+    # does not depend on them
+    assert serial.supervision["pool_rebuilds"] == 0
+
+    # quarantine records and the reproducer artifact landed in both logs
+    for path in (p1, p2):
+        loaded = load_campaign(path)
+        assert loaded["quarantine"], f"no quarantine record in {path}"
+        assert loaded["supervision"]["worker_kills"] >= 1
+        arts = load_artifacts(repro_dir(path))
+        assert arts, f"no reproducer artifact under {repro_dir(path)}"
+        assert arts[0]["kind"] == KIND_WORKER
+        # ddmin reset the irrelevant y to its default
+        assert arts[0]["minimized"]
+        assert arts[0]["minimized_inputs"]["y"] == 5
+        assert arts[0]["minimized_inputs"]["x"] <= 0
+    assert load_campaign(p1)["quarantine"] == load_campaign(p2)["quarantine"]
+
+
+def test_quarantine_honored_across_checkpoint_resume(tmp_path):
+    _, path, first = _killer_campaign(tmp_path, "resume", iterations=6)
+    assert first.supervisor.quarantine  # at least one input quarantined
+    quarantined = dict(first.supervisor.quarantine)
+
+    result, _, resumed = _killer_campaign(tmp_path, "resume", iterations=4,
+                                          resume=True)
+    assert set(resumed.supervisor.quarantine) >= set(quarantined)
+    # the resumed session replayed quarantine state, not just the log
+    assert resumed.supervisor.kill_counts
+    assert len(result.iterations) == 10
+
+
+def test_quarantine_honored_across_jsonl_resume(tmp_path):
+    _, path, first = _killer_campaign(tmp_path, "jresume", iterations=6)
+    keys = set(first.supervisor.quarantine)
+    assert keys
+    checkpoint_path(path).unlink()  # force the degraded JSONL path
+
+    prog = instrument_program(["repro.targets.killer"],
+                              entry_module="repro.targets.killer")
+    try:
+        compi = Compi.resume(prog, path)
+        try:
+            assert set(compi.supervisor.quarantine) == keys
+            # logged signatures seeded triage dedup: no re-minimization
+            assert compi.triage.seen
+        finally:
+            compi.close()
+    finally:
+        prog.unload()
+
+
+def test_breaker_degrades_to_sandboxed_inline(tmp_path):
+    """With a 1-rebuild breaker the parallel executor must stop
+    rebuilding after the first kill and still finish the campaign."""
+    result, _, compi = _killer_campaign(tmp_path, "breaker", workers=2,
+                                        breaker_rebuilds=1)
+    assert result.supervision["breaker_open"]
+    assert result.supervision["pool_rebuilds"] == 1
+    assert len(result.iterations) == 12
+
+
+# ----------------------------------------------------------------------
+# triage artifacts + CLI
+# ----------------------------------------------------------------------
+def test_triage_emits_one_artifact_per_signature(tmp_path):
+    result, path, _ = _killer_campaign(tmp_path, "triage")
+    arts = load_artifacts(repro_dir(path))
+    sigs = {a["signature"] for a in arts}
+    assert len(arts) == len(sigs)  # dedup: one artifact per signature
+    worker_bugs = [b for b in result.bugs if b.kind == KIND_WORKER]
+    assert {b.signature for b in worker_bugs} <= sigs | {""}
+    art = arts[0]
+    assert art["format"] == "compi-repro-v1"
+    assert art["program"] and art["nprocs"] >= 1
+    assert set(art["minimized_inputs"]) == set(art["inputs"])
+
+
+def test_triage_cli_list_show_replay(tmp_path, capsys):
+    from repro.__main__ import main
+
+    _, path, _ = _killer_campaign(tmp_path, "cli")
+    assert main(["triage", "list", "--log", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "worker-killed" in out
+
+    assert main(["triage", "show", "--log", str(path)]) == 0
+    shown = json.loads(
+        "\n".join(l for l in capsys.readouterr().out.splitlines()
+                  if not l.startswith("#")))
+    assert shown["format"] == "compi-repro-v1"
+
+    rc = main(["triage", "replay", "--log", str(path),
+               "--target", "killer"])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "signature match" in out
+
+
+def test_triage_cli_replay_requires_target(tmp_path):
+    from repro.__main__ import main
+
+    _, path, _ = _killer_campaign(tmp_path, "clibad")
+    with pytest.raises(SystemExit):
+        main(["triage", "replay", "--log", str(path)])
+
+
+def test_run_cli_supervision_flags(tmp_path, capsys):
+    """End-to-end: `run --target killer --sandbox --workers 2` survives
+    the kill and prints supervision telemetry."""
+    from repro.__main__ import main
+
+    log = tmp_path / "cli-camp.jsonl"
+    rc = main(["run", "--target", "killer", "--iterations", "8",
+               "--seed", "7", "--nprocs", "2", "--nprocs-cap", "4",
+               "--sandbox", "--workers", "2", "--save-log", str(log)])
+    out = capsys.readouterr().out
+    assert rc == 1, out  # bugs found → nonzero, but it *finished*
+    assert "supervision" in out
+    assert "quarantine" in out
+    assert load_campaign(log)["quarantine"]
+
+
+# ----------------------------------------------------------------------
+# report + persistence surface
+# ----------------------------------------------------------------------
+def test_summary_mentions_supervision(tmp_path):
+    from repro.core import campaign_summary
+
+    result, _, _ = _killer_campaign(tmp_path, "summary")
+    text = campaign_summary(result)
+    assert "supervision" in text
+    assert "quarantine" in text
+    assert "crash triage" in text
+
+
+def test_bug_signature_survives_log_roundtrip(tmp_path):
+    result, path, _ = _killer_campaign(tmp_path, "roundtrip")
+    loaded = load_campaign(path)
+    by_iter = {b.iteration: b for b in loaded["bugs"]}
+    for bug in result.bugs:
+        assert by_iter[bug.iteration].signature == bug.signature
