@@ -1,0 +1,145 @@
+"""Fleet throughput benchmark (not a paper artifact).
+
+Runs one small sweep three ways and records the fleet's overheads in
+``benchmarks/out/BENCH_fleet.json``:
+
+* **serial baseline** — the same shard campaigns executed inline, one
+  after another, in this process (no scheduler, no worker spawns);
+* **fleet sweep** — the same shards through ``fleet run`` with 2
+  concurrent supervised workers (per-attempt process spawn, manifest
+  fsyncs, result publication);
+* **faulty fleet sweep** — the sweep plus a poison shard (the killer
+  target) that hard-kills its worker on every attempt, measuring what
+  retries + quarantine cost the healthy siblings.
+
+Reported: shards/minute for each mode, scheduler overhead versus the
+serial baseline, and the retry/quarantine counts of the faulty sweep.
+
+Asserted contracts:
+
+* the fleet completes every healthy shard and its merged report sees
+  exactly the shard campaigns the serial baseline ran (same iteration
+  totals — the campaigns are deterministic);
+* the poison shard is quarantined after its retry budget while every
+  healthy sibling still completes.
+"""
+
+import json
+import time
+
+from conftest import OUT_DIR, scaled
+
+from repro.core import format_table
+from repro.fleet import FleetSpec, fleet_paths, load_state, merge_results
+from repro.fleet.manifest import DONE, QUARANTINED
+from repro.fleet.service import fleet_run
+from repro.fleet.worker import execute_shard
+
+ITERS = scaled(6)
+
+SPEC = {
+    "fleet": "bench",
+    "matrix": {"target": ["demo", "seq_demo"],
+               "strategy": ["two-phase", "random-branch"]},
+    "shard": {"iterations": ITERS},
+    "failure": {"max_failures": 2, "backoff": 0.05, "jitter": 0.0},
+    "workers": 2,
+}
+
+
+def _write_spec(tmp_path, d, name):
+    p = tmp_path / name
+    p.write_text(json.dumps(d))
+    return p
+
+
+def _serial_baseline(tmp_path):
+    """Every shard campaign inline: the no-scheduler floor."""
+    spec = FleetSpec.from_dict(SPEC)
+    root = tmp_path / "serial"
+    fleet_paths(root).ensure()
+    t0 = time.monotonic()
+    total_iters = 0
+    for shard in spec.expand():
+        payload = execute_shard(root, shard)
+        total_iters += payload["summary"]["iterations"]
+    return time.monotonic() - t0, len(spec.expand()), total_iters
+
+
+def _fleet_sweep(tmp_path, spec_dict, name):
+    spec_path = _write_spec(tmp_path, spec_dict, f"{name}.json")
+    root = tmp_path / name
+    t0 = time.monotonic()
+    fleet_run(spec_path, root, echo=lambda _msg: None)
+    wall = time.monotonic() - t0
+    state = load_state(root)
+    return wall, state, merge_results(root, state)
+
+
+def test_fleet_throughput(once, tmp_path):
+    def experiment():
+        serial_wall, n_shards, serial_iters = _serial_baseline(tmp_path)
+
+        fleet_wall, state, report = _fleet_sweep(tmp_path, SPEC, "fleet")
+        counts = state.counts()
+        assert counts[DONE] == n_shards, counts
+        # deterministic campaigns: fleet == serial, shard for shard
+        assert report.total_iterations == serial_iters
+
+        faulty = dict(SPEC, fleet="bench-faulty")
+        faulty["matrix"] = dict(SPEC["matrix"],
+                                target=["demo", "seq_demo", "killer"])
+        faulty_wall, f_state, f_report = _fleet_sweep(tmp_path, faulty,
+                                                      "faulty")
+        f_counts = f_state.counts()
+        retries = sum(st.failures for st in f_state.shards.values())
+        quarantined = [sid for sid, st in f_state.shards.items()
+                       if st.status == QUARANTINED]
+        assert all(sid.startswith("killer--") for sid in quarantined)
+        assert len(quarantined) == 2  # killer x both strategies
+        assert f_counts[DONE] == n_shards  # healthy siblings all finish
+
+        return {
+            "shards": n_shards,
+            "iterations_per_shard": ITERS,
+            "serial": {
+                "wall_s": round(serial_wall, 3),
+                "shards_per_min": round(60 * n_shards / serial_wall, 2),
+            },
+            "fleet": {
+                "workers": SPEC["workers"],
+                "wall_s": round(fleet_wall, 3),
+                "shards_per_min": round(60 * n_shards / fleet_wall, 2),
+                "overhead_vs_serial": round(fleet_wall / serial_wall, 2),
+            },
+            "faulty_fleet": {
+                "shards": len(f_state.shard_ids()),
+                "wall_s": round(faulty_wall, 3),
+                "retries": retries,
+                "quarantined": len(quarantined),
+                "done": f_counts[DONE],
+            },
+        }
+
+    data = once(experiment)
+
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / "BENCH_fleet.json").write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+    rows = [
+        ["serial inline", 1, data["serial"]["wall_s"],
+         data["serial"]["shards_per_min"], "-", "-"],
+        ["fleet", data["fleet"]["workers"], data["fleet"]["wall_s"],
+         data["fleet"]["shards_per_min"],
+         f'{data["fleet"]["overhead_vs_serial"]}x', "-"],
+        ["fleet + poison shard", data["fleet"]["workers"],
+         data["faulty_fleet"]["wall_s"], "-",
+         f'{data["faulty_fleet"]["retries"]} retries',
+         f'{data["faulty_fleet"]["quarantined"]} quarantined'],
+    ]
+    table = format_table(
+        ["mode", "workers", "wall s", "shards/min", "overhead", "poison"],
+        rows, title=f"fleet throughput ({data['shards']} shards x "
+                    f"{ITERS} iterations)")
+    print(f"\n{table}\n")

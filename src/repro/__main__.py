@@ -165,10 +165,26 @@ def cmd_targets(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
-    """`run` subcommand: one COMPI campaign; nonzero exit when bugs were found."""
+    """`run` subcommand: one COMPI campaign.
+
+    Exit codes: 0 = clean campaign, 1 = campaign completed and found
+    bugs, 2 = unrecoverable harness error (the campaign itself died).
+    """
     if args.resume and not args.save_log:
         raise SystemExit("--resume needs --save-log PATH "
                          "(the log of the campaign to continue)")
+    try:
+        return _run_campaign(args)
+    except (SystemExit, KeyboardInterrupt):
+        raise
+    except Exception as exc:
+        import traceback
+        traceback.print_exc()
+        print(f"repro run: unrecoverable error: {exc!r}", file=sys.stderr)
+        return 2
+
+
+def _run_campaign(args: argparse.Namespace) -> int:
     program = load_target(args.target)
     try:
         from .core import Compi
@@ -411,6 +427,25 @@ def cmd_triage(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """`fleet` subcommand group: declarative sharded campaign sweeps."""
+    from .fleet import service
+
+    if args.fleet_command == "run":
+        return service.fleet_run(args.spec, args.dir, workers=args.workers,
+                                 overwrite=args.force,
+                                 stop_after_shards=args.stop_after)
+    if args.fleet_command == "resume":
+        return service.fleet_resume(args.dir, workers=args.workers,
+                                    stop_after_shards=args.stop_after)
+    if args.fleet_command == "status":
+        return service.fleet_status(args.dir)
+    if args.fleet_command == "report":
+        return service.fleet_report(args.dir, as_json=args.json)
+    # worker: internal per-shard entry, dispatched by the scheduler
+    return service.fleet_worker(args.dir, args.shard)
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     """`compare` subcommand: run several variants with a common denominator."""
     names = [v.strip() for v in args.variants.split(",") if v.strip()]
@@ -500,6 +535,45 @@ def main(argv: list[str] | None = None) -> int:
                        help="replay the original crashing inputs instead "
                             "of the minimized ones")
 
+    p_fleet = sub.add_parser(
+        "fleet", help="declarative sharded campaign sweeps (fault-tolerant)")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True)
+
+    p_fr = fleet_sub.add_parser(
+        "run", help="expand a fleet spec and run every shard")
+    p_fr.add_argument("spec", help="fleet spec file (YAML, or JSON when "
+                                   "PyYAML is unavailable)")
+    p_fr.add_argument("--dir", required=True, metavar="DIR",
+                      help="fleet state directory (manifest + shard logs)")
+    p_fr.add_argument("--workers", type=int, default=None,
+                      help="concurrent shard workers (default: spec's)")
+    p_fr.add_argument("--force", action="store_true",
+                      help="replace an existing sweep in --dir")
+    p_fr.add_argument("--stop-after", type=int, default=None,
+                      help=argparse.SUPPRESS)  # test hook: die mid-sweep
+
+    p_fres = fleet_sub.add_parser(
+        "resume", help="continue a killed sweep (incomplete shards only)")
+    p_fres.add_argument("dir", help="fleet state directory")
+    p_fres.add_argument("--workers", type=int, default=None,
+                        help="concurrent shard workers (default: spec's)")
+    p_fres.add_argument("--stop-after", type=int, default=None,
+                        help=argparse.SUPPRESS)
+
+    p_fst = fleet_sub.add_parser(
+        "status", help="show shard statuses, attempts, and failures")
+    p_fst.add_argument("dir", help="fleet state directory")
+
+    p_frep = fleet_sub.add_parser(
+        "report", help="merge shard logs into the deterministic report")
+    p_frep.add_argument("dir", help="fleet state directory")
+    p_frep.add_argument("--json", action="store_true",
+                        help="emit the report as JSON")
+
+    p_fw = fleet_sub.add_parser("worker")  # internal: one shard attempt
+    p_fw.add_argument("--dir", required=True)
+    p_fw.add_argument("--shard", required=True)
+
     p_cache = sub.add_parser("cache",
                              help="inspect the solver-cache disk tier")
     p_cache.add_argument("action", choices=("stats", "clear"),
@@ -520,6 +594,8 @@ def main(argv: list[str] | None = None) -> int:
         return cmd_cache(args)
     if args.command == "triage":
         return cmd_triage(args)
+    if args.command == "fleet":
+        return cmd_fleet(args)
     return cmd_compare(args)
 
 

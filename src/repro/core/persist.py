@@ -52,6 +52,7 @@ import pickle
 from pathlib import Path
 from typing import Any, Iterator, Optional, TextIO, Union
 
+from .atomicio import atomic_write_bytes, fsync_dir, read_jsonl
 from .compi import BugRecord, CampaignResult, IterationRecord
 from .config import CompiConfig
 from .conflicts import TestSetup
@@ -81,7 +82,12 @@ class CampaignLog:
                 f"campaign log {self.path} already exists; pass mode='w' to "
                 f"overwrite or mode='a' to append (resume)")
         open_mode = "a" if self.mode == "a" else "w"
+        existed = self.path.exists()
         self._fh = self.path.open(open_mode, encoding="utf-8")
+        if not existed:
+            # make the new log's directory entry durable up front: a crash
+            # right after open must not leave records in an unnamed file
+            fsync_dir(self.path.parent)
         return self
 
     def __exit__(self, *exc) -> None:
@@ -188,21 +194,11 @@ def read_records(path: Union[str, Path]) -> Iterator[dict]:
 
     A truncated *final* line (a crash cutting a record in half) is
     skipped silently; a malformed line anywhere else raises, since that
-    means real corruption rather than an interrupted write.
+    means real corruption rather than an interrupted write.  (The shared
+    implementation lives in :mod:`repro.core.atomicio`; the fleet
+    manifest reads its records through the same tolerance rules.)
     """
-    with Path(path).open("r", encoding="utf-8") as fh:
-        lines = fh.readlines()
-    last = len(lines) - 1
-    for i, line in enumerate(lines):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            yield json.loads(line)
-        except json.JSONDecodeError:
-            if i == last:
-                return  # torn tail from an interrupted write
-            raise
+    yield from read_jsonl(path, tolerate_torn_tail=True)
 
 
 def _filtered_kwargs(cls, obj: dict) -> dict:
@@ -277,17 +273,14 @@ def checkpoint_path(log_path: Union[str, Path]) -> Path:
 def write_checkpoint(log_path: Union[str, Path], state: dict) -> Path:
     """Atomically persist campaign state next to the log.
 
-    Written to a temp file then ``os.replace``'d, so a crash mid-write
-    leaves the previous checkpoint intact.
+    Written to a temp file then ``os.replace``'d (with a parent-directory
+    fsync — see :mod:`repro.core.atomicio`), so a crash mid-write leaves
+    the previous checkpoint intact and a crash right after the rename
+    cannot lose the new one.
     """
-    target = checkpoint_path(log_path)
-    tmp = target.with_name(target.name + ".tmp")
-    with tmp.open("wb") as fh:
-        pickle.dump(state, fh, protocol=pickle.HIGHEST_PROTOCOL)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, target)
-    return target
+    return atomic_write_bytes(
+        checkpoint_path(log_path),
+        pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 def load_checkpoint(log_path: Union[str, Path]) -> Optional[dict]:

@@ -1,0 +1,141 @@
+"""The shard worker: one campaign shard in one disposable process.
+
+The fleet scheduler launches ``python -m repro fleet worker --dir D
+--shard ID`` per attempt.  Process-per-attempt is the isolation the
+supervision era bought at the run level, applied at the campaign level:
+a target that hard-kills its process (``os._exit``, a fatal signal, an
+OOM the kernel answers with SIGKILL) takes down *this* worker only —
+the scheduler classifies the death from the exit status and retries or
+quarantines the shard without disturbing its siblings.
+
+Contract with the scheduler:
+
+* the campaign streams to ``shards/<id>.jsonl`` (mode ``"w"`` — each
+  attempt starts the log over, so a retried shard's log is always one
+  attempt's coherent record, and a quarantined shard leaves the partial
+  log of its final attempt for the results store);
+* every log record touches the shard's heartbeat file (reusing
+  :class:`~repro.supervise.pool.HeartbeatMonitor`), which is how the
+  scheduler tells "slow but progressing" from "wedged";
+* a finished attempt atomically writes ``shards/<id>.result.json``
+  before exiting 0 — the scheduler treats exit 0 *without* the result
+  file as a crash (the worker died between campaign end and publish);
+* exit codes: 0 = completed (bugs found or not — bugs are data),
+  :data:`EXIT_OOM` = MemoryError under the fleet rlimit,
+  :data:`EXIT_INTERNAL` = harness-level exception (details on stderr).
+"""
+
+from __future__ import annotations
+
+import sys
+import traceback
+from pathlib import Path
+from typing import Union
+
+from ..core.atomicio import atomic_write_json, read_jsonl
+from ..core.persist import CampaignLog
+from ..supervise import HeartbeatMonitor, ResourceLimits, apply_rlimits
+from .manifest import fleet_paths
+from .spec import FleetSpec, ShardSpec, build_strategy
+
+#: worker exit status for a MemoryError under the fleet's rlimit cap
+EXIT_OOM = 86
+#: worker exit status for a harness-level exception
+EXIT_INTERNAL = 70
+
+
+class HeartbeatLog(CampaignLog):
+    """A campaign log whose every record doubles as a liveness signal."""
+
+    def __init__(self, path, heartbeat_path: str, mode: str = "w"):
+        super().__init__(path, mode=mode)
+        self._heartbeat = str(heartbeat_path)
+
+    def _write(self, obj: dict) -> None:
+        super()._write(obj)
+        HeartbeatMonitor.touch(self._heartbeat)
+
+
+def load_fleet_spec(root: Union[str, Path]) -> FleetSpec:
+    """The spec snapshot embedded in a fleet manifest's first record."""
+    paths = fleet_paths(root)
+    for obj in read_jsonl(paths.manifest):
+        if obj.get("type") == "fleet-meta":
+            return FleetSpec.from_dict(obj["spec"])
+    raise ValueError(f"{paths.manifest}: no fleet-meta record")
+
+
+def shard_summary(result) -> dict:
+    """The deterministic projection of one campaign the report merges.
+
+    Wall-clock time, retries and attempt counts are deliberately *not*
+    here: the merged fleet report must be byte-identical between an
+    uninterrupted sweep and a killed-and-resumed one.
+    """
+    return {
+        "iterations": len(result.iterations),
+        "covered": result.covered,
+        "total_branches": result.total_branches,
+        "reachable": result.reachable_branches,
+        "divergences": result.divergences,
+        "unique_bugs": sorted([k, loc] for (k, loc) in
+                              {b.dedup_key for b in result.bugs}),
+    }
+
+
+def execute_shard(root: Union[str, Path], shard: ShardSpec) -> dict:
+    """Run one shard campaign to completion and publish its result file.
+
+    Runs in the worker process, but is also callable inline (the
+    benchmark's serial baseline uses it) — it is a pure function of the
+    shard spec plus the fleet directory it writes into.
+    """
+    from ..__main__ import load_target  # lazy: __main__ imports fleet
+    from ..core import Compi
+
+    paths = fleet_paths(root)
+    heartbeat = HeartbeatMonitor(stale_after=1.0,
+                                 dir=str(paths.heartbeats))
+    hb_path = heartbeat.path_for(shard.shard_id)
+    HeartbeatMonitor.touch(hb_path)
+
+    config = shard.to_config()
+    program = load_target(shard.target)
+    try:
+        strategy = build_strategy(shard.strategy, config, program)
+        with Compi(program, config, strategy=strategy) as compi, \
+                HeartbeatLog(paths.shard_log(shard.shard_id), hb_path,
+                             mode="w") as log:
+            result = compi.run(**shard.budget_kwargs(), log=log)
+    finally:
+        program.unload()
+
+    payload = {
+        "shard": shard.shard_id,
+        "status": "ok",
+        "summary": shard_summary(result),
+        # session-local telemetry, excluded from the deterministic report
+        "wall_time": result.wall_time,
+        "retries": result.retries,
+    }
+    atomic_write_json(paths.shard_result(shard.shard_id), payload)
+    return payload
+
+
+def run_shard(root: Union[str, Path], shard_id: str) -> int:
+    """Worker-process entry: resolve the shard, run it, map the exit code."""
+    try:
+        spec = load_fleet_spec(root)
+        shard = spec.shard(shard_id)
+        # the whole worker runs under the fleet's address-space cap, so a
+        # runaway shard OOMs alone and classifies as shard-oom
+        apply_rlimits(ResourceLimits(max_rss_mb=spec.failure.max_rss_mb))
+        execute_shard(root, shard)
+        return 0
+    except MemoryError:
+        # keep the handler allocation-free: no traceback rendering
+        sys.stderr.write("shard worker: MemoryError under rlimit cap\n")
+        return EXIT_OOM
+    except Exception:
+        traceback.print_exc()
+        return EXIT_INTERNAL

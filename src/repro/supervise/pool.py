@@ -118,12 +118,19 @@ class HeartbeatMonitor:
     older than ``stale_after`` has stopped making progress entirely.
     """
 
-    def __init__(self, stale_after: float):
+    def __init__(self, stale_after: float, dir: Optional[str] = None):
         self.stale_after = stale_after
-        self.dir = tempfile.mkdtemp(prefix="compi-hb-")
+        # a caller-supplied directory (the fleet scheduler points one at
+        # <fleet>/heartbeats/) is shared infrastructure we must not rmdir
+        self._owned = dir is None
+        if dir is None:
+            self.dir = tempfile.mkdtemp(prefix="compi-hb-")
+        else:
+            os.makedirs(dir, exist_ok=True)
+            self.dir = dir
 
-    def path_for(self, pid: int) -> str:
-        return os.path.join(self.dir, f"hb-{pid}")
+    def path_for(self, ident) -> str:
+        return os.path.join(self.dir, f"hb-{ident}")
 
     @staticmethod
     def touch(path: str) -> None:
@@ -155,6 +162,26 @@ class HeartbeatMonitor:
         now = time.time() if now is None else now
         return now - newest > self.stale_after
 
+    def age_of(self, ident, now: Optional[float] = None) -> Optional[float]:
+        """Age of one worker's heartbeat in seconds; None when that
+        worker never checked in (treat as alive — still starting up).
+        Used by the fleet scheduler to tell a shard making slow progress
+        from one that has wedged entirely."""
+        try:
+            mtime = os.stat(self.path_for(ident)).st_mtime
+        except OSError:
+            return None
+        now = time.time() if now is None else now
+        return max(0.0, now - mtime)
+
+    def clear(self, ident) -> None:
+        """Forget one worker's heartbeat (a finished fleet shard must not
+        look 'fresh' to the next staleness check)."""
+        try:
+            os.unlink(self.path_for(ident))
+        except OSError:
+            pass
+
     def cleanup(self) -> None:
         try:
             for name in os.listdir(self.dir):
@@ -162,7 +189,8 @@ class HeartbeatMonitor:
                     os.unlink(os.path.join(self.dir, name))
                 except OSError:
                     pass
-            os.rmdir(self.dir)
+            if self._owned:
+                os.rmdir(self.dir)
         except OSError:
             pass
 

@@ -1,0 +1,145 @@
+"""Tests for the shared crash-safe file primitives (core.atomicio)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.atomicio import (JsonlAppender, atomic_write_bytes,
+                                 atomic_write_json, atomic_write_text,
+                                 fsync_dir, read_jsonl)
+
+
+# ----------------------------------------------------------------------
+# atomic replace
+
+
+def test_atomic_write_bytes_creates_and_replaces(tmp_path):
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"one")
+    assert target.read_bytes() == b"one"
+    atomic_write_bytes(target, b"two")
+    assert target.read_bytes() == b"two"
+    # no temp droppings left behind
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["state.bin"]
+
+
+def test_atomic_write_text_roundtrip(tmp_path):
+    target = tmp_path / "note.txt"
+    atomic_write_text(target, "héllo\n")
+    assert target.read_text(encoding="utf-8") == "héllo\n"
+
+
+def test_atomic_write_json_sorted_and_parseable(tmp_path):
+    target = tmp_path / "obj.json"
+    atomic_write_json(target, {"b": 2, "a": 1})
+    text = target.read_text()
+    assert json.loads(text) == {"a": 1, "b": 2}
+    # deterministic rendering: keys sorted
+    assert text.index('"a"') < text.index('"b"')
+
+
+def test_atomic_write_never_exposes_partial_content(tmp_path):
+    """The temp file carries the partial state; the target never does."""
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"complete-old-content")
+    tmp = target.with_name(target.name + ".tmp")
+    # simulate a crash mid-write: the temp exists, the rename never ran
+    tmp.write_bytes(b"half-writ")
+    assert target.read_bytes() == b"complete-old-content"
+
+
+def test_fsync_dir_missing_path_is_noop(tmp_path):
+    fsync_dir(tmp_path / "does-not-exist")  # must not raise
+
+
+# ----------------------------------------------------------------------
+# torn-tail-tolerant JSONL reader
+
+
+def test_read_jsonl_yields_records_in_order(tmp_path):
+    p = tmp_path / "log.jsonl"
+    p.write_text('{"n": 1}\n{"n": 2}\n{"n": 3}\n')
+    assert [o["n"] for o in read_jsonl(p)] == [1, 2, 3]
+
+
+def test_read_jsonl_skips_torn_tail(tmp_path):
+    p = tmp_path / "log.jsonl"
+    p.write_text('{"n": 1}\n{"n": 2}\n{"n": 3, "tor')
+    assert [o["n"] for o in read_jsonl(p)] == [1, 2]
+
+
+def test_read_jsonl_strict_mode_raises_on_torn_tail(tmp_path):
+    p = tmp_path / "log.jsonl"
+    p.write_text('{"n": 1}\n{"n": 2, "tor')
+    with pytest.raises(json.JSONDecodeError):
+        list(read_jsonl(p, tolerate_torn_tail=False))
+
+
+def test_read_jsonl_midfile_corruption_raises(tmp_path):
+    """A mangled line that is NOT the tail is corruption, not a crash."""
+    p = tmp_path / "log.jsonl"
+    p.write_text('{"n": 1}\nGARBAGE\n{"n": 3}\n')
+    with pytest.raises(json.JSONDecodeError):
+        list(read_jsonl(p))
+
+
+def test_read_jsonl_ignores_blank_lines(tmp_path):
+    p = tmp_path / "log.jsonl"
+    p.write_text('{"n": 1}\n\n{"n": 2}\n')
+    assert [o["n"] for o in read_jsonl(p)] == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# JsonlAppender
+
+
+def test_appender_writes_readable_records(tmp_path):
+    p = tmp_path / "a.jsonl"
+    with JsonlAppender(p, mode="x") as app:
+        app.write({"n": 1})
+        app.write({"n": 2})
+    assert [o["n"] for o in read_jsonl(p)] == [1, 2]
+
+
+def test_appender_mode_x_refuses_existing(tmp_path):
+    p = tmp_path / "a.jsonl"
+    p.write_text("")
+    with pytest.raises(FileExistsError):
+        JsonlAppender(p, mode="x").open()
+
+
+def test_appender_mode_a_appends_mode_w_overwrites(tmp_path):
+    p = tmp_path / "a.jsonl"
+    with JsonlAppender(p, mode="w") as app:
+        app.write({"n": 1})
+    with JsonlAppender(p, mode="a") as app:
+        app.write({"n": 2})
+    assert [o["n"] for o in read_jsonl(p)] == [1, 2]
+    with JsonlAppender(p, mode="w") as app:
+        app.write({"n": 9})
+    assert [o["n"] for o in read_jsonl(p)] == [9]
+
+
+def test_appender_rejects_unknown_mode(tmp_path):
+    with pytest.raises(ValueError):
+        JsonlAppender(tmp_path / "a.jsonl", mode="r")
+
+
+def test_appender_write_requires_open(tmp_path):
+    app = JsonlAppender(tmp_path / "a.jsonl", mode="w")
+    with pytest.raises(RuntimeError):
+        app.write({"n": 1})
+
+
+def test_appender_records_survive_unflushed_tail(tmp_path):
+    """Every record is flushed as written: a reader sees all complete
+    records even while the appender is still open (crash window)."""
+    p = tmp_path / "a.jsonl"
+    app = JsonlAppender(p, mode="w", fsync_every=100)
+    app.open()
+    app.write({"n": 1})
+    app.write({"n": 2})
+    # no close/sync — simulate the process dying here
+    assert [o["n"] for o in read_jsonl(p)] == [1, 2]
+    app.close()

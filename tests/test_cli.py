@@ -84,6 +84,54 @@ def test_unknown_variant_rejected():
         main(["compare", "--target", "demo", "--variants", "R,bogus"])
 
 
+def test_run_unrecoverable_error_exits_2(capsys, monkeypatch):
+    import repro.__main__ as cli
+
+    def explode(name):
+        raise RuntimeError("instrumentation backend fell over")
+
+    monkeypatch.setattr(cli, "load_target", explode)
+    rc = main(["run", "--target", "demo", "--iterations", "1"])
+    assert rc == 2
+    assert "unrecoverable error" in capsys.readouterr().err
+
+
+def test_fleet_cli_run_status_report(capsys, tmp_path):
+    import json
+
+    spec = tmp_path / "sweep.json"
+    spec.write_text(json.dumps({
+        "fleet": "cli-smoke",
+        "matrix": {"target": ["seq_demo"]},
+        "shard": {"iterations": 2},
+        "failure": {"max_failures": 2, "backoff": 0.01},
+        "workers": 1,
+    }))
+    root = tmp_path / "fleet"
+    assert main(["fleet", "run", str(spec), "--dir", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "fleet report: cli-smoke" in out and "done" in out
+
+    # re-running without --force refuses to clobber the sweep
+    assert main(["fleet", "run", str(spec), "--dir", str(root)]) == 2
+    capsys.readouterr()
+
+    assert main(["fleet", "status", str(root)]) == 0
+    assert "fleet status: cli-smoke" in capsys.readouterr().out
+
+    assert main(["fleet", "report", str(root), "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["counts"]["done"] == 1
+
+
+def test_fleet_cli_bad_spec_exits_2(capsys, tmp_path):
+    spec = tmp_path / "bad.json"
+    spec.write_text("{not json")
+    assert main(["fleet", "run", str(spec),
+                 "--dir", str(tmp_path / "f")]) == 2
+    assert "bad spec" in capsys.readouterr().err
+
+
 def test_flags_map_to_config():
     import argparse
 
