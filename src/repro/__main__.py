@@ -56,6 +56,14 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
     if unknown:
         raise SystemExit(f"unknown fault kind(s): {', '.join(unknown)} "
                          f"(valid: {', '.join(ALL_FAULT_KINDS)})")
+    portfolio_arms: tuple[str, ...] = ()
+    portfolio_spec = getattr(args, "portfolio", None)
+    if portfolio_spec:
+        from .portfolio import parse_portfolio
+        try:
+            portfolio_arms = parse_portfolio(portfolio_spec)
+        except ValueError as exc:
+            raise SystemExit(str(exc)) from None
     return CompiConfig(
         seed=args.seed,
         init_nprocs=args.nprocs,
@@ -75,6 +83,8 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
         sandbox=getattr(args, "sandbox", None),
         minimize_crashes=getattr(args, "minimize", True),
         quarantine_kills=getattr(args, "quarantine_kills", 1),
+        portfolio=portfolio_arms,
+        portfolio_exploration=getattr(args, "portfolio_exploration", 0.5),
     )
 
 
@@ -137,6 +147,14 @@ def add_common(p: argparse.ArgumentParser) -> None:
                    metavar="N",
                    help="confirmed worker kills from one input before it "
                         "is quarantined (default: 1)")
+    p.add_argument("--portfolio", default="", metavar="ARMS",
+                   help="run several strategies as bandit arms over one "
+                        "shared frontier, e.g. dfs2,bounded,random,cfg "
+                        "('default' = that mix; empty = single strategy)")
+    p.add_argument("--portfolio-exploration", type=float, default=0.5,
+                   metavar="C",
+                   help="UCB exploration constant for the portfolio "
+                        "bandit (default: 0.5)")
 
 
 def budget_kwargs(args: argparse.Namespace) -> dict:
@@ -441,7 +459,8 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "status":
         return service.fleet_status(args.dir)
     if args.fleet_command == "report":
-        return service.fleet_report(args.dir, as_json=args.json)
+        return service.fleet_report(args.dir, as_json=args.json,
+                                    with_coverage=args.coverage)
     # worker: internal per-shard entry, dispatched by the scheduler
     return service.fleet_worker(args.dir, args.shard)
 
@@ -569,6 +588,9 @@ def main(argv: list[str] | None = None) -> int:
     p_frep.add_argument("dir", help="fleet state directory")
     p_frep.add_argument("--json", action="store_true",
                         help="emit the report as JSON")
+    p_frep.add_argument("--coverage", action="store_true",
+                        help="include the per-target branch-coverage "
+                             "union across shards")
 
     p_fw = fleet_sub.add_parser("worker")  # internal: one shard attempt
     p_fw.add_argument("--dir", required=True)

@@ -94,6 +94,9 @@ class IterationRecord:
     #: the swallowed harvest exception behind ``degraded``, when any
     #: ("ExcType: message @ file:line:function")
     harvest_error: str = ""
+    #: portfolio arm that produced this iteration, attributed in commit
+    #: order ("" for single-strategy campaigns and pre-portfolio records)
+    arm: str = ""
 
 
 @dataclass
@@ -121,6 +124,10 @@ class CampaignResult:
     #: quarantine counts, unique crash signatures (None for campaigns
     #: predating the supervision subsystem)
     supervision: Optional[dict] = None
+    #: per-arm portfolio telemetry — pulls, budget share, coverage
+    #: gained, solver time, current UCB score (None for single-strategy
+    #: campaigns and campaigns predating the portfolio subsystem)
+    portfolio: Optional[dict] = None
 
     @property
     def covered(self) -> int:
@@ -180,19 +187,30 @@ class Compi:
         cache = (CounterexampleCache(capacity=cfg.solver_cache_size,
                                      path=cfg.solver_cache_path)
                  if cfg.solver_cache else None)
-        strategy = strategy or TwoPhaseDFS(
-            observe_iterations=cfg.observe_iterations,
-            fixed_bound=cfg.fixed_depth_bound, slack=cfg.bound_slack,
-            rng=np.random.default_rng(cfg.rng_seed(3)))
         self.runner = TestRunner(program, cfg)
         initial = TestSetup(nprocs=min(cfg.init_nprocs, cfg.nprocs_cap),
                             focus=cfg.init_focus)
         self._initial_setup = initial
-        self.scheduler = Scheduler(
-            config=cfg, specs=self.specs, strategy=strategy,
-            session=SolveSession(solver, cache=cache),
-            rng=np.random.default_rng(cfg.rng_seed(1)),
-            initial_setup=initial, fault_plan=self.runner.fault_plan)
+        session = SolveSession(solver, cache=cache)
+        if cfg.portfolio:
+            if strategy is not None:
+                raise ValueError(
+                    "pass either an explicit strategy or config.portfolio, "
+                    "not both — a portfolio builds its own arm strategies")
+            from ..portfolio import build_portfolio_scheduler
+            self.scheduler = build_portfolio_scheduler(
+                cfg, self.specs, program, session, initial,
+                fault_plan=self.runner.fault_plan)
+        else:
+            strategy = strategy or TwoPhaseDFS(
+                observe_iterations=cfg.observe_iterations,
+                fixed_bound=cfg.fixed_depth_bound, slack=cfg.bound_slack,
+                rng=np.random.default_rng(cfg.rng_seed(3)))
+            self.scheduler = Scheduler(
+                config=cfg, specs=self.specs, strategy=strategy,
+                session=session,
+                rng=np.random.default_rng(cfg.rng_seed(1)),
+                initial_setup=initial, fault_plan=self.runner.fault_plan)
         self.supervisor = CampaignSupervisor(cfg, self.runner)
         self.triage = CrashTriage(self.runner, self.specs, cfg, program.name)
         self.collector = Collector(checkpoint=self._write_checkpoint,
@@ -359,7 +377,13 @@ class Compi:
     def _write_checkpoint(self, log_path: Union[str, Path],
                           elapsed: float) -> None:
         from .persist import write_checkpoint  # local: persist imports us
+        # portfolio campaigns checkpoint all arms (strategies, RNGs,
+        # pendings, bandit) in one sub-dict; the legacy flat keys below
+        # then describe the *active* arm, keeping old tooling readable
+        portfolio_state = (self.scheduler.state_dict()
+                           if hasattr(self.scheduler, "state_dict") else None)
         write_checkpoint(log_path, {
+            "portfolio": portfolio_state,
             "program": self.program.name,
             "config": dataclasses.asdict(self.config),
             "iteration": self._iteration,
@@ -405,21 +429,33 @@ class Compi:
         state = load_checkpoint(log_path)
         if state is not None:
             cfg = config or CompiConfig.from_dict(state["config"])
+            # ``state.get``: pre-portfolio checkpoints simply lack the key
+            portfolio_state = state.get("portfolio")
+            if portfolio_state is None and cfg.portfolio:
+                # a pre-portfolio (or single-strategy) checkpoint has no
+                # arm state to restore — resume it as the single-strategy
+                # campaign it was, whatever the requested config says
+                cfg = dataclasses.replace(cfg, portfolio=())
             self = cls(program, cfg, specs=specs)
             self.coverage = state["coverage"]
             self.bugs = state["bugs"]
             self.records = state["records"]
-            self._caps = state["caps"]
-            self.rng = state["rng"]
             self.solver = state["solver"]
             if "solver_cache" in state:  # absent in pre-cache checkpoints
                 self.solver_cache = state["solver_cache"]
                 self.solver_stats = state["solver_stats"]
-            self.strategy = state["strategy"]
-            self._next = state["next"]
-            self._expect = state["expect"]
+            if portfolio_state is not None:
+                # restores every arm (strategies + shared tree, RNGs,
+                # pendings, telemetry) and the bandit, bit-for-bit
+                self.scheduler.load_state(portfolio_state)
+            else:
+                self._caps = state["caps"]
+                self.rng = state["rng"]
+                self.strategy = state["strategy"]
+                self._next = state["next"]
+                self._expect = state["expect"]
+                self._restarts = state["restarts"]
             self._iteration = state["iteration"]
-            self._restarts = state["restarts"]
             self._elapsed_prior = state["elapsed"]
             self.runner._ewma = state["runner_ewma"]
             self.runner._runs = state["runner_runs"]

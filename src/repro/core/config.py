@@ -34,6 +34,16 @@ class CompiConfig:
     #: multiplier over the observed maximum when deriving the bound
     bound_slack: float = 1.2
 
+    # -- portfolio search (repro.portfolio) --------------------------------
+    #: strategy arms run concurrently as one campaign over a shared
+    #: execution-tree frontier, e.g. ``("dfs2", "bounded", "random",
+    #: "cfg")``; a UCB bandit reallocates the iteration budget between
+    #: them.  Empty = classic single-strategy campaign.
+    portfolio: tuple[str, ...] = ()
+    #: UCB exploration constant for the bandit budget allocator; higher
+    #: spreads budget wider, lower exploits the best arm sooner
+    portfolio_exploration: float = 0.5
+
     # -- cost controls (§IV) -----------------------------------------------
     #: constraint set reduction (§IV-C)
     reduction: bool = True
@@ -179,4 +189,6 @@ class CompiConfig:
         kwargs = {k: v for k, v in d.items() if k in known}
         if "faults" in kwargs and kwargs["faults"] is not None:
             kwargs["faults"] = tuple(kwargs["faults"])
+        if "portfolio" in kwargs and kwargs["portfolio"] is not None:
+            kwargs["portfolio"] = tuple(kwargs["portfolio"])
         return cls(**kwargs)

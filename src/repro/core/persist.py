@@ -28,6 +28,9 @@ Format: one JSON object per line, discriminated by ``"type"``:
   (written with the iteration that confirmed the kill; honored by every
   subsequent resume)
 * ``supervision``— supervision/triage telemetry (end of campaign)
+* ``portfolio``  — per-arm portfolio telemetry: pulls, budget share,
+  coverage gained, solver time, UCB score (end of campaign; only
+  written by portfolio campaigns)
 * ``coverage``   — final covered branch list (written once at the end)
 
 Exact-state resume additionally uses a pickle checkpoint *sidecar*
@@ -141,6 +144,11 @@ class CampaignLog:
         if supervision is not None:
             self._write({"type": "supervision", **supervision})
 
+    def write_portfolio(self, portfolio: Optional[dict]) -> None:
+        """Per-arm portfolio telemetry (a plain dict, or None)."""
+        if portfolio is not None:
+            self._write({"type": "portfolio", **portfolio})
+
     def write_cov_delta(self, iteration: int,
                         new_branches: list[tuple[int, bool]]) -> None:
         """Branches first covered this iteration (resume without ckpt)."""
@@ -176,6 +184,7 @@ class CampaignLog:
             self.write_bug(bug)
         self.write_solver(result.solver)
         self.write_supervision(result.supervision)
+        self.write_portfolio(result.portfolio)
         self.write_coverage(result)
 
 
@@ -214,7 +223,8 @@ def load_campaign(path: Union[str, Path]) -> dict:
     ``bugs`` (BugRecord list), ``coverage`` (raw final dict, if the
     campaign finished), ``solver`` (raw solver/cache telemetry dict, if
     recorded), ``quarantine`` (raw quarantine-entry dicts, in log order),
-    ``supervision`` (raw telemetry dict, if recorded) and
+    ``supervision`` (raw telemetry dict, if recorded), ``portfolio``
+    (raw per-arm telemetry dict, if recorded) and
     ``cov_branches`` (set of (site, outcome) branch pairs accumulated
     from per-iteration deltas — available even for a log cut off
     mid-campaign).
@@ -225,6 +235,7 @@ def load_campaign(path: Union[str, Path]) -> dict:
     coverage: Optional[dict] = None
     solver: Optional[dict] = None
     supervision: Optional[dict] = None
+    portfolio: Optional[dict] = None
     quarantine: list[dict] = []
     cov_branches: set[tuple[int, bool]] = set()
     for obj in read_records(path):
@@ -250,6 +261,8 @@ def load_campaign(path: Union[str, Path]) -> dict:
             quarantine.append(obj)
         elif kind == "supervision":
             supervision = obj
+        elif kind == "portfolio":
+            portfolio = obj
         elif kind == "coverage":
             coverage = obj
             cov_branches.update((s, bool(d)) for s, d in obj["branches"])
@@ -258,7 +271,7 @@ def load_campaign(path: Union[str, Path]) -> dict:
     return {"meta": meta, "iterations": iterations, "bugs": bugs,
             "coverage": coverage, "solver": solver,
             "quarantine": quarantine, "supervision": supervision,
-            "cov_branches": cov_branches}
+            "portfolio": portfolio, "cov_branches": cov_branches}
 
 
 # ----------------------------------------------------------------------

@@ -53,6 +53,20 @@ def campaign_summary(result: CampaignResult) -> str:
                 f"crash triage       : {sup['unique_signatures']} unique "
                 f"signature(s), {sup.get('minimized_crashes', 0)} minimized "
                 f"({sup.get('minimize_probes', 0)} probes)")
+    pf = result.portfolio
+    if pf and pf.get("arms"):
+        lines.append(f"portfolio          : "
+                     f"{len(pf['arms'])} arms, active={pf.get('active', '?')}"
+                     f", exploration={pf.get('exploration', 0)}")
+        for a in pf["arms"]:
+            score = a.get("ucb_score")
+            lines.append(
+                f"  arm[{a['name']}]: {a['pulls']} iterations "
+                f"({100 * a.get('share', 0):.1f}% share), "
+                f"+{a['coverage_gained']} branches, "
+                f"{a.get('solver_time', 0):.2f}s solver "
+                f"({a.get('solver_solves', 0)} solves), "
+                f"ucb={'—' if score is None else f'{score:.3f}'}")
     if result.degraded_iterations:
         lines.append(f"degraded iterations: {result.degraded_iterations} "
                      f"(coverage-only; trace harvest failed)")

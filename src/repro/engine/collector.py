@@ -89,6 +89,7 @@ class Collector:
             degraded=outcome.degraded,
             retries=outcome.retries,
             harvest_error=outcome.harvest_error,
+            arm=candidate.arm,
         )
 
     def record(self, it_rec: IterationRecord, new_branches: set,

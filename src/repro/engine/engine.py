@@ -133,13 +133,22 @@ class CampaignEngine:
             # snapshot: the report must not alias the live session counters
             solver=self.scheduler.session.stats.snapshot(),
             supervision=self._supervision_snapshot(),
+            portfolio=self._portfolio_snapshot(),
         )
         if log is not None:
             log.write_solver(result.solver)
             log.write_supervision(result.supervision)
+            if result.portfolio is not None:
+                log.write_portfolio(result.portfolio)
             log.write_coverage(result)
             log.sync()
         return result
+
+    def _portfolio_snapshot(self) -> Optional[dict]:
+        """Per-arm telemetry when the scheduler is a portfolio (duck-typed
+        so the engine never imports :mod:`repro.portfolio`)."""
+        snap = getattr(self.scheduler, "portfolio_snapshot", None)
+        return snap() if snap is not None else None
 
     def _supervision_snapshot(self) -> Optional[dict]:
         """Supervision + triage telemetry for the final report (None when

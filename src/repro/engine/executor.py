@@ -339,7 +339,20 @@ class ParallelExecutor:
         pool, self._pool = self._pool, None
         self._generation += 1
         if pool is not None:
+            # A *wedged* worker never drains the shutdown sentinel, so
+            # the pool's manager thread blocks on it forever — and
+            # concurrent.futures joins that manager thread at
+            # interpreter exit, wedging the whole process.  The pool is
+            # abandoned either way (suspects re-run inline), so kill its
+            # workers outright and let the manager thread finish.
+            # Snapshot first: shutdown() drops the _processes reference.
+            procs = list((getattr(pool, "_processes", None) or {}).values())
             pool.shutdown(wait=False, cancel_futures=True)
+            for proc in procs:
+                try:
+                    proc.kill()
+                except (ValueError, OSError, AttributeError):
+                    pass  # already reaped/closed
         if self.supervisor is not None:
             self.supervisor.note_rebuild(wedged=wedged)
 

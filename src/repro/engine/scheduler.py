@@ -51,11 +51,17 @@ class Candidate:
     ``expect`` is the divergence-detection expectation — the (path,
     position) whose flip this candidate should realise — consumed by
     :meth:`Scheduler.observe` when the candidate's execution commits.
+
+    ``arm`` names the portfolio arm whose strategy produced this
+    candidate ("" for single-strategy campaigns); the collector copies
+    it onto the committed iteration record, giving every iteration its
+    commit-order arm attribution.
     """
 
     testcase: TestCase
     expect: Optional[tuple[list, int]] = None
     speculative: bool = False
+    arm: str = ""
 
 
 class Scheduler:
@@ -198,17 +204,24 @@ class Scheduler:
         session = self.session.fork()
         out: list[Candidate] = []
         probe = width + _SPECULATION_PROBE_SLACK
-        for pos in self.strategy.propose_many(ctx, probe + 1):
-            if pos == serial_pos:
-                continue
-            built = self._solve_position(tc, trace, pos, semantics,
-                                         caps_cons, domains, session)
-            if built is None:
-                continue
-            built.speculative = True
-            out.append(built)
-            if len(out) >= width:
-                break
+        # the random/CFG strategies draw from their RNG while proposing;
+        # speculation must leave the committed stream's strategy RNG
+        # exactly where the serial derivation left it
+        rng_state = self.strategy.rng.bit_generator.state
+        try:
+            for pos in self.strategy.propose_many(ctx, probe + 1):
+                if pos == serial_pos:
+                    continue
+                built = self._solve_position(tc, trace, pos, semantics,
+                                             caps_cons, domains, session)
+                if built is None:
+                    continue
+                built.speculative = True
+                out.append(built)
+                if len(out) >= width:
+                    break
+        finally:
+            self.strategy.rng.bit_generator.state = rng_state
         return out
 
     # ------------------------------------------------------------------

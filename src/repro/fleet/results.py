@@ -47,6 +47,9 @@ class ShardReport:
     #: sorted unique (kind, location) bug keys from this shard's log
     unique_bugs: tuple = ()
     has_log: bool = False
+    #: sorted (site, outcome) branch pairs this shard covered — the raw
+    #: material of the fleet-wide per-target coverage union
+    cov_branches: tuple = ()
 
     def as_dict(self) -> dict:
         return {
@@ -95,12 +98,42 @@ class FleetReport:
                 seen.add((sh.target, kind, loc))
         return sorted(seen)
 
+    def coverage_union(self) -> dict:
+        """Per-target union of covered (site, outcome) branch pairs.
+
+        Shards of one target under different strategies, rank counts or
+        seeds explore different corners of the execution tree; their
+        union is the fleet's real coverage headroom over any single
+        campaign.  Only shards that contributed a log count — pending
+        shards stay invisible here exactly as they do everywhere else.
+        """
+        union: dict = {}
+        for sh in self.shards:
+            if sh.has_log:
+                union.setdefault(sh.target, set()).update(sh.cov_branches)
+        return {t: tuple(sorted(pairs)) for t, pairs in sorted(union.items())}
+
+    def coverage_rows(self) -> list[list]:
+        """[target, shards-with-logs, union, best-single-shard, headroom]
+        rows for the ``--coverage`` report section."""
+        union = self.coverage_union()
+        rows = []
+        for target, pairs in union.items():
+            contributing = [sh for sh in self.shards
+                            if sh.target == target and sh.has_log]
+            best = max((sh.covered for sh in contributing), default=0)
+            rows.append([target, len(contributing), len(pairs), best,
+                         len(pairs) - best])
+        return rows
+
     def as_dict(self) -> dict:
         return {
             "fleet": self.fleet,
             "counts": self.counts(),
             "total_iterations": self.total_iterations,
             "fleet_bugs": [list(t) for t in self.fleet_bugs],
+            "coverage_union": {t: len(p)
+                               for t, p in self.coverage_union().items()},
             "shards": [sh.as_dict() for sh in self.shards],
         }
 
@@ -128,10 +161,14 @@ def _shard_report_from_log(shard, status: str, log_path) -> ShardReport:
         covered = len(data["cov_branches"])
         reachable = None
     unique = tuple(sorted({b.dedup_key for b in data["bugs"]}))
+    # cov_branches accumulates per-iteration deltas plus the final
+    # coverage record, so partial and finished logs rank equally here
+    pairs = tuple(sorted((s, int(d)) for s, d in data["cov_branches"]))
     return ShardReport(
         iterations=len(data["iterations"]), covered=covered,
         total_branches=int(meta.get("total_branches", 0)),
-        reachable=reachable, unique_bugs=unique, has_log=True, **base)
+        reachable=reachable, unique_bugs=unique, has_log=True,
+        cov_branches=pairs, **base)
 
 
 def merge_results(root, state: FleetState) -> FleetReport:
@@ -149,8 +186,14 @@ def merge_results(root, state: FleetState) -> FleetReport:
 # rendering
 
 
-def report_text(report: FleetReport) -> str:
-    """Render the merged report (deterministic: no times, no attempts)."""
+def report_text(report: FleetReport, with_coverage: bool = False) -> str:
+    """Render the merged report (deterministic: no times, no attempts).
+
+    ``with_coverage`` appends the per-target branch-coverage union
+    section (``repro fleet report --coverage``): how many distinct
+    branches the whole sweep covered per target, the best any single
+    shard managed, and the headroom the union buys over it.
+    """
     headers = ["shard", "status", "iters", "cov", "total", "reach", "bugs"]
     rows = []
     for sh in report.shards:
@@ -172,6 +215,11 @@ def report_text(report: FleetReport) -> str:
     ]
     for target, kind, loc in report.fleet_bugs:
         lines.append(f"  {target}: {kind} @ {loc}")
+    if with_coverage:
+        lines += ["", format_table(
+            ["target", "shards", "union", "best shard", "headroom"],
+            report.coverage_rows(),
+            title="coverage union across shards")]
     return "\n".join(lines) + "\n"
 
 

@@ -118,8 +118,13 @@ def fleet_status(root: Union[str, Path],
 
 
 def fleet_report(root: Union[str, Path], as_json: bool = False,
+                 with_coverage: bool = False,
                  echo: Optional[Echo] = None) -> int:
-    """Print the deterministic merged report; exit code as for run."""
+    """Print the deterministic merged report; exit code as for run.
+
+    ``with_coverage`` adds the per-target branch-coverage union section
+    (JSON reports always carry the union counts).
+    """
     echo = echo or _echo_to(sys.stdout)
     try:
         state = load_state(root)
@@ -130,7 +135,7 @@ def fleet_report(root: Union[str, Path], as_json: bool = False,
     if as_json:
         echo(json.dumps(report.as_dict(), sort_keys=True, indent=2))
     else:
-        echo(report_text(report).rstrip("\n"))
+        echo(report_text(report, with_coverage=with_coverage).rstrip("\n"))
     return _exit_code(state, report)
 
 

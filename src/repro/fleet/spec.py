@@ -41,9 +41,27 @@ from typing import Optional, Union
 
 from ..core.config import CompiConfig
 
-#: search strategies a shard can name; "two-phase" is the COMPI default
+#: search strategies a shard can name; "two-phase" is the COMPI default.
+#: A shard can also name a *portfolio*: ``portfolio`` (the default arm
+#: mix) or ``portfolio:dfs2+bounded+random+cfg`` (explicit arms, joined
+#: with ``+`` so shard IDs stay comma-free).
 STRATEGIES = ("two-phase", "bounded", "dfs", "random-branch",
               "uniform-random", "cfg")
+
+
+def portfolio_arms_from_strategy(name: str):
+    """Arms tuple when ``name`` is a portfolio strategy string, else None.
+
+    Raises :class:`FleetSpecError` for a malformed arm list.
+    """
+    if name != "portfolio" and not name.startswith("portfolio:"):
+        return None
+    from ..portfolio import parse_portfolio
+    spec = name.partition(":")[2]
+    try:
+        return parse_portfolio(spec)
+    except ValueError as exc:
+        raise FleetSpecError(str(exc)) from None
 
 
 class FleetSpecError(ValueError):
@@ -61,7 +79,9 @@ def build_strategy(name: str, config: CompiConfig, program):
 
     Returns ``None`` for ``two-phase`` so :class:`~repro.core.Compi`
     builds its own default — keeping a two-phase shard bit-for-bit
-    identical to a plain ``repro run`` of the same configuration.
+    identical to a plain ``repro run`` of the same configuration — and
+    for portfolio strategies, whose arms Compi builds from
+    ``config.portfolio`` (set by :meth:`ShardSpec.to_config`).
     """
     import numpy as np
 
@@ -69,6 +89,8 @@ def build_strategy(name: str, config: CompiConfig, program):
                           UniformRandomSearch)
     rng = np.random.default_rng(config.rng_seed(3))
     if name == "two-phase":
+        return None
+    if portfolio_arms_from_strategy(name) is not None:
         return None
     if name == "bounded":
         return BoundedDFS(depth_bound=config.fixed_depth_bound or 500,
@@ -173,6 +195,9 @@ class ShardSpec:
                     init_nprocs=self.nprocs)
         base.setdefault("nprocs_cap", max(self.nprocs,
                                           CompiConfig().nprocs_cap))
+        arms = portfolio_arms_from_strategy(self.strategy)
+        if arms is not None:
+            base["portfolio"] = arms
         return CompiConfig.from_dict(base)
 
     def as_dict(self) -> dict:
@@ -263,10 +288,12 @@ class FleetSpec:
                 raise FleetSpecError(
                     f"unknown target {t!r}; pick from {', '.join(targets)}")
         for st in self.strategies:
-            if st not in STRATEGIES:
+            if st not in STRATEGIES and \
+                    portfolio_arms_from_strategy(st) is None:
                 raise FleetSpecError(
-                    f"unknown strategy {st!r}; "
-                    f"pick from {', '.join(STRATEGIES)}")
+                    f"unknown strategy {st!r}; pick from "
+                    f"{', '.join(STRATEGIES)}, 'portfolio', or "
+                    f"'portfolio:<arm+arm+...>'")
         for np_ in self.nprocs:
             if not isinstance(np_, int) or np_ < 1:
                 raise FleetSpecError(f"matrix.nprocs entries must be "

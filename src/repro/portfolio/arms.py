@@ -1,0 +1,101 @@
+"""Arm registry: canonical names → strategy factories.
+
+Arms are the strategies COMPI's Fig. 4 compares, constructed over a
+**shared** :class:`~repro.search.base.ExecutionTree` so a flip one arm
+explored or proved infeasible is never re-derived by a sibling.  The
+canonical names (``dfs2``, ``bounded``, ``dfs``, ``random``,
+``uniform``, ``cfg``) are what ``--portfolio`` accepts; the fleet-spec
+strategy names (``two-phase``, ``random-branch``, …) are accepted as
+aliases so one vocabulary works everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..search.base import ExecutionTree, SearchStrategy
+from ..search.cfg import CfgDirectedSearch
+from ..search.dfs import BoundedDFS, TwoPhaseDFS
+from ..search.random_strategies import RandomBranchSearch, UniformRandomSearch
+
+#: canonical arm names, in the order Fig. 4 presents the strategies
+ARM_NAMES = ("dfs2", "bounded", "dfs", "random", "uniform", "cfg")
+
+#: the issue's flagship mix: both systematic DFS variants plus the two
+#: strategies that occasionally luck past a plateau
+DEFAULT_PORTFOLIO = ("dfs2", "bounded", "random", "cfg")
+
+_ALIASES = {
+    "two-phase": "dfs2",
+    "twophase": "dfs2",
+    "random-branch": "random",
+    "uniform-random": "uniform",
+}
+
+
+def canonical_arm(name: str) -> str:
+    """Resolve ``name`` (canonical or alias) to its canonical arm name."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in ARM_NAMES:
+        raise ValueError(
+            f"unknown portfolio arm {name!r}; choose from "
+            f"{', '.join(ARM_NAMES)} (aliases: {', '.join(sorted(_ALIASES))})")
+    return key
+
+
+def parse_portfolio(spec) -> tuple[str, ...]:
+    """Parse a ``--portfolio`` value into a canonical arm tuple.
+
+    Accepts a comma- or plus-separated string (``dfs2,bounded,random``,
+    ``dfs2+cfg``) or an iterable of names; the bare word ``default``
+    (or an empty-after-split string such as ``"portfolio:"`` yields)
+    expands to :data:`DEFAULT_PORTFOLIO`.  Order is preserved — it is
+    the bandit's bootstrap order — and duplicates are rejected because
+    two identical arms would shadow each other on the shared frontier.
+    """
+    if isinstance(spec, str):
+        raw = [p for p in spec.replace("+", ",").split(",") if p.strip()]
+        if not raw or raw == ["default"]:
+            return DEFAULT_PORTFOLIO
+        names = [canonical_arm(p) for p in raw]
+    else:
+        names = [canonical_arm(p) for p in spec]
+        if not names:
+            return DEFAULT_PORTFOLIO
+    seen = set()
+    for n in names:
+        if n in seen:
+            raise ValueError(f"duplicate portfolio arm {n!r}")
+        seen.add(n)
+    return tuple(names)
+
+
+def build_arm_strategy(name: str, config, program,
+                       rng: Optional[np.random.Generator] = None,
+                       tree: Optional[ExecutionTree] = None) -> SearchStrategy:
+    """Construct one arm's strategy over the (shared) ``tree``.
+
+    Mirrors :func:`repro.fleet.spec.build_strategy` but threads the
+    shared tree through; ``program`` is needed only by ``cfg`` (for the
+    site registry).
+    """
+    arm = canonical_arm(name)
+    if arm == "dfs2":
+        return TwoPhaseDFS(observe_iterations=config.observe_iterations,
+                           fixed_bound=config.fixed_depth_bound,
+                           slack=config.bound_slack, rng=rng, tree=tree)
+    if arm == "bounded":
+        return BoundedDFS(depth_bound=config.fixed_depth_bound or 500,
+                          rng=rng, tree=tree)
+    if arm == "dfs":
+        return BoundedDFS(depth_bound=None, rng=rng, tree=tree)
+    if arm == "random":
+        return RandomBranchSearch(rng=rng, tree=tree)
+    if arm == "uniform":
+        return UniformRandomSearch(rng=rng, tree=tree)
+    if arm == "cfg":
+        return CfgDirectedSearch(program.registry, rng=rng, tree=tree)
+    raise AssertionError(f"unreachable arm {arm!r}")

@@ -11,6 +11,13 @@ The :class:`ExecutionTree` persists across iterations and remembers, for
 every path prefix, which flip directions were already explored or proved
 infeasible, giving DFS its systematic behaviour without re-deriving state
 from log files each iteration.
+
+Strategies are also the *arms* of the portfolio meta-scheduler
+(:mod:`repro.portfolio`): several strategies can be constructed over one
+**shared** :class:`ExecutionTree`, so a flip one arm explored (or proved
+infeasible) is never re-derived by a sibling arm.  Arm-local observation
+state (``max_path_seen``, strategy RNGs, derived bounds) stays per
+strategy; only the frontier is shared.
 """
 
 from __future__ import annotations
@@ -111,15 +118,28 @@ class SearchStrategy(ABC):
 
     name: str = "abstract"
 
-    def __init__(self, rng: Optional[np.random.Generator] = None):
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 tree: Optional[ExecutionTree] = None):
         self.rng = rng or np.random.default_rng(0)
-        self.tree = ExecutionTree()
+        #: the explored-frontier bookkeeping; pass a shared tree to run
+        #: this strategy as one arm of a portfolio over a common frontier
+        self.tree = tree if tree is not None else ExecutionTree()
         self.max_path_seen = 0
 
     # -- lifecycle -------------------------------------------------------
     def register_execution(self, path: list[PathEntry]) -> None:
         """Record a completed execution's constrained path."""
         self.tree.insert(path)
+        self.max_path_seen = max(self.max_path_seen, len(path))
+
+    def note_foreign_execution(self, path: list[PathEntry]) -> None:
+        """A *sibling arm* committed this path (shared-frontier portfolio).
+
+        The shared tree already absorbed the insert through the committing
+        arm's :meth:`register_execution`; only arm-local observation state
+        (the maximum path length that feeds two-phase bound derivation)
+        needs updating here.  Inserting again would double-count
+        ``tree.paths_inserted``."""
         self.max_path_seen = max(self.max_path_seen, len(path))
 
     @abstractmethod

@@ -30,8 +30,8 @@ class CfgDirectedSearch(SearchStrategy):
     name = "CFG"
 
     def __init__(self, registry: SiteRegistry,
-                 rng: Optional[np.random.Generator] = None):
-        super().__init__(rng)
+                 rng: Optional[np.random.Generator] = None, tree=None):
+        super().__init__(rng, tree=tree)
         self.registry = registry
         self.graph = SiteGraph(registry)
 

@@ -28,8 +28,8 @@ class BoundedDFS(SearchStrategy):
     """Classic CREST bounded depth-first search."""
 
     def __init__(self, depth_bound: Optional[int] = None,
-                 rng: Optional[np.random.Generator] = None):
-        super().__init__(rng)
+                 rng: Optional[np.random.Generator] = None, tree=None):
+        super().__init__(rng, tree=tree)
         self.depth_bound = depth_bound
         self.name = f"BoundedDFS({depth_bound if depth_bound else '∞'})"
         self._no_candidates = False
@@ -64,8 +64,8 @@ class TwoPhaseDFS(BoundedDFS):
 
     def __init__(self, observe_iterations: int = 50,
                  fixed_bound: Optional[int] = None, slack: float = 1.2,
-                 rng: Optional[np.random.Generator] = None):
-        super().__init__(depth_bound=None, rng=rng)
+                 rng: Optional[np.random.Generator] = None, tree=None):
+        super().__init__(depth_bound=None, rng=rng, tree=tree)
         self.observe_iterations = observe_iterations
         self.fixed_bound = fixed_bound
         self.slack = slack

@@ -159,6 +159,32 @@ def test_resume_tolerates_torn_tail(seq_program, tmp_path):
     assert resumed.coverage.covered_branches > 0
 
 
+def test_pre_portfolio_checkpoint_defaults_to_single_arm(seq_program,
+                                                         tmp_path):
+    """Checkpoints written before the portfolio subsystem have no
+    "portfolio" key; resume must fall back to a single-arm campaign
+    (like the pre-cache tolerance) even when the requested config asks
+    for a portfolio — there is no arm state to restore."""
+    from repro.engine import Scheduler
+
+    p = tmp_path / "c.jsonl"
+    with CampaignLog(p) as log:
+        Compi(seq_program, CFG).run(iterations=4, log=log)
+    state = load_checkpoint(p)
+    del state["portfolio"]  # what an old-version checkpoint looks like
+    write_checkpoint(p, state)
+
+    wants_portfolio = CFG.with_(portfolio=("dfs2", "bounded"))
+    resumed = Compi.resume(seq_program, p, config=wants_portfolio)
+    assert resumed.config.portfolio == ()
+    assert type(resumed.scheduler) is Scheduler
+    assert resumed._iteration == 4
+    result = resumed.run(iterations=2)
+    assert len(result.iterations) == 6
+    assert all(r.arm == "" for r in result.iterations)
+    assert result.portfolio is None
+
+
 def test_streamed_log_equals_batch_save(seq_program, tmp_path):
     """The incremental writer and save_campaign agree on content."""
     from repro.core.persist import save_campaign

@@ -499,3 +499,37 @@ def test_bug_signature_survives_log_roundtrip(tmp_path):
     by_iter = {b.iteration: b for b in loaded["bugs"]}
     for bug in result.bugs:
         assert by_iter[bug.iteration].signature == bug.signature
+
+
+# ----------------------------------------------------------------------
+# abandoned-pool hygiene
+# ----------------------------------------------------------------------
+def test_teardown_kills_abandoned_pool_workers(demo_program):
+    """Tearing down a wedged pool must kill its worker processes.
+
+    A wedged worker never drains the shutdown sentinel, so the abandoned
+    pool's manager thread blocks in ``process.join()`` — and the
+    interpreter joins that manager thread at exit, wedging the whole
+    process long after the campaign recovered.
+    """
+    import time as _time
+
+    from repro.engine import ParallelExecutor
+
+    cfg = _cfg(workers=2)
+    runner = TestRunner(demo_program, cfg)
+    sup = CampaignSupervisor(cfg, runner)
+    ex = ParallelExecutor(demo_program, cfg, runner, workers=2,
+                          supervisor=sup)
+    pool = ex._ensure_pool()
+    # park one worker on a long job: under the old shutdown(wait=False)
+    # teardown it would outlive the executor by minutes
+    pool.submit(_time.sleep, 300)
+    procs = list(pool._processes.values())
+    assert procs
+    ex._teardown(wedged=True)
+    deadline = _time.monotonic() + 15.0
+    while any(p.is_alive() for p in procs):
+        assert _time.monotonic() < deadline, "abandoned workers survived"
+        _time.sleep(0.1)
+    assert sup.stats.wedge_recoveries == 1
