@@ -23,6 +23,7 @@ TARGETS = {
     "demo": (["repro.targets.demo"], "repro.targets.demo"),
     "seq_demo": (["repro.targets.seq_demo"], "repro.targets.seq_demo"),
     "killer": (["repro.targets.killer"], "repro.targets.killer"),
+    "race": (["repro.targets.race"], "repro.targets.race"),
     "susy": ("repro.targets.susy", None),
     "hpl": ("repro.targets.hpl", None),
     "imb": ("repro.targets.imb", None),
@@ -85,6 +86,9 @@ def build_config(args: argparse.Namespace) -> CompiConfig:
         quarantine_kills=getattr(args, "quarantine_kills", 1),
         portfolio=portfolio_arms,
         portfolio_exploration=getattr(args, "portfolio_exploration", 0.5),
+        explore_schedules=getattr(args, "explore_schedules", False),
+        schedule_budget=getattr(args, "schedule_budget", 64),
+        schedule_depth=getattr(args, "schedule_depth", 8),
     )
 
 
@@ -155,6 +159,18 @@ def add_common(p: argparse.ArgumentParser) -> None:
                    metavar="C",
                    help="UCB exploration constant for the portfolio "
                         "bandit (default: 0.5)")
+    p.add_argument("--explore-schedules", action="store_true",
+                   help="also search message-interleaving space: every "
+                        "wildcard-receive match becomes a decision point "
+                        "and unexplored alternatives are replayed "
+                        "depth-first (forces the inline executor; "
+                        "incompatible with --portfolio)")
+    p.add_argument("--schedule-budget", type=int, default=64, metavar="N",
+                   help="max alternative schedules explored per campaign "
+                        "(default: 64)")
+    p.add_argument("--schedule-depth", type=int, default=8, metavar="D",
+                   help="match decisions per run eligible for forking "
+                        "(default: 8)")
 
 
 def budget_kwargs(args: argparse.Namespace) -> dict:
@@ -302,6 +318,10 @@ def cmd_replay(args: argparse.Namespace) -> int:
     print(f"replaying bug #{args.bug}: {bug.kind} "
           f"(np={bug.testcase.setup.nprocs}, focus={bug.testcase.setup.focus})")
     print(f"inputs: {dict(sorted(bug.testcase.inputs.items()))}")
+    if bug.schedule:
+        # load_campaign already re-pinned the testcase: the runner will
+        # replay the recorded wildcard match decisions
+        print(f"schedule: {bug.schedule}")
 
     program = load_target(args.target)
     try:
@@ -412,11 +432,18 @@ def cmd_triage(args: argparse.Namespace) -> int:
     config = CompiConfig(seed=art.get("seed", 0),
                          max_rss_mb=limits.max_rss_mb,
                          max_cpu_s=limits.max_cpu_s, sandbox=True)
+    schedule: tuple = ()
+    if art.get("schedule"):
+        from .schedules import decode_schedule
+        schedule = decode_schedule(art["schedule"])
     tc = TestCase(inputs={k: int(v) for k, v in inputs.items()},
-                  setup=TestSetup(art["nprocs"], art["focus"]))
+                  setup=TestSetup(art["nprocs"], art["focus"]),
+                  schedule=schedule)
     print(f"replaying {art['signature']} "
           f"(np={art['nprocs']}, focus={art['focus']})")
     print(f"inputs: {dict(sorted(tc.inputs.items()))}")
+    if art.get("schedule"):
+        print(f"schedule: {art['schedule']}")
     program = load_target(args.target)
     try:
         runner = TestRunner(program, config)

@@ -62,6 +62,14 @@ class BugRecord:
     #: triage crash signature "{kind}@{location}#{hash}" (see
     #: repro.supervise.triage); "" for records predating triage
     signature: str = ""
+    #: canonical message-schedule ID of the run that hit the bug
+    #: ("" when the run made no wildcard match decisions or predates
+    #: schedule exploration) — replaying the testcase pinned to this
+    #: schedule reproduces the interleaving (see repro.schedules)
+    schedule: str = ""
+    #: for deadlocks: the per-rank pending-operation list at detection,
+    #: as ``((rank, "op"), ...)`` sorted by rank
+    pending_ops: tuple = ()
 
     @property
     def dedup_key(self) -> tuple[str, str]:
@@ -97,6 +105,10 @@ class IterationRecord:
     #: portfolio arm that produced this iteration, attributed in commit
     #: order ("" for single-strategy campaigns and pre-portfolio records)
     arm: str = ""
+    #: canonical message-schedule ID observed by this execution ("" when
+    #: no wildcard match decisions were made or the record predates
+    #: schedule exploration)
+    schedule: str = ""
 
 
 @dataclass
@@ -128,6 +140,10 @@ class CampaignResult:
     #: gained, solver time, current UCB score (None for single-strategy
     #: campaigns and campaigns predating the portfolio subsystem)
     portfolio: Optional[dict] = None
+    #: schedule-space exploration telemetry — schedules explored,
+    #: frontier size, decision nodes, replay divergences (None outside
+    #: ``--explore-schedules`` and for campaigns predating it)
+    schedules: Optional[dict] = None
 
     @property
     def covered(self) -> int:
@@ -197,6 +213,12 @@ class Compi:
                 raise ValueError(
                     "pass either an explicit strategy or config.portfolio, "
                     "not both — a portfolio builds its own arm strategies")
+            if cfg.explore_schedules:
+                raise ValueError(
+                    "config.portfolio and config.explore_schedules are "
+                    "mutually exclusive: the schedule frontier lives on "
+                    "the single-strategy scheduler (run schedule "
+                    "exploration as its own campaign/fleet arm)")
             from ..portfolio import build_portfolio_scheduler
             self.scheduler = build_portfolio_scheduler(
                 cfg, self.specs, program, session, initial,
@@ -409,6 +431,11 @@ class Compi:
             # that already have reproducer artifacts
             "supervisor": self.supervisor.state_dict(),
             "triage_seen": self.triage.state_dict(),
+            # schedule-space frontier (trees + pending prescriptions) so
+            # --resume continues the interleaving search bit-for-bit
+            "schedules": (self.scheduler.schedules.state_dict()
+                          if getattr(self.scheduler, "schedules", None)
+                          is not None else None),
         })
 
     @classmethod
@@ -463,6 +490,12 @@ class Compi:
             # pre-supervision checkpoints simply have nothing to restore
             self.supervisor.load_state(state.get("supervisor", {}))
             self.triage.load_state(state.get("triage_seen", {}))
+            # ``state.get``: pre-schedule checkpoints lack the key
+            sched_state = state.get("schedules")
+            if (sched_state is not None
+                    and getattr(self.scheduler, "schedules", None)
+                    is not None):
+                self.scheduler.schedules.load_state(sched_state)
             return self
         # degraded path: JSONL only (e.g. the checkpoint was lost or is
         # from an incompatible version)

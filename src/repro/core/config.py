@@ -44,6 +44,17 @@ class CompiConfig:
     #: spreads budget wider, lower exploits the best arm sooner
     portfolio_exploration: float = 0.5
 
+    # -- schedule-space exploration (repro.schedules) ----------------------
+    #: also explore message interleavings: wildcard receives become
+    #: replayable decision points and a DFS frontier over unexplored
+    #: match orders is interleaved with the input search.  Forces the
+    #: inline executor (serial ≡ --workers N still holds).
+    explore_schedules: bool = False
+    #: total alternative schedules a campaign may execute
+    schedule_budget: int = 64
+    #: decisions per run considered for alternatives (DFS depth bound)
+    schedule_depth: int = 8
+
     # -- cost controls (§IV) -----------------------------------------------
     #: constraint set reduction (§IV-C)
     reduction: bool = True

@@ -133,6 +133,8 @@ class CampaignLog:
             "inputs": dict(bug.testcase.inputs),
             "nprocs": bug.testcase.setup.nprocs,
             "focus": bug.testcase.setup.focus,
+            "schedule": bug.schedule,
+            "pending_ops": [list(p) for p in bug.pending_ops],
         })
 
     def write_quarantine(self, entry) -> None:
@@ -246,13 +248,25 @@ def load_campaign(path: Union[str, Path]) -> dict:
             iterations.append(IterationRecord(
                 **_filtered_kwargs(IterationRecord, obj)))
         elif kind == "bug":
+            # re-pin the testcase to the bug's schedule (when one was
+            # logged) so replaying it reproduces the interleaving
+            sched_id = obj.get("schedule", "")
+            schedule: tuple = ()
+            if sched_id:
+                from ..schedules import decode_schedule
+                schedule = decode_schedule(sched_id)
             tc = TestCase(inputs=obj["inputs"],
-                          setup=TestSetup(obj["nprocs"], obj["focus"]))
-            bugs.append(BugRecord(kind=obj["kind"], message=obj["message"],
-                                  global_rank=obj["global_rank"],
-                                  testcase=tc, iteration=obj["iteration"],
-                                  location=obj.get("location", ""),
-                                  signature=obj.get("signature", "")))
+                          setup=TestSetup(obj["nprocs"], obj["focus"]),
+                          schedule=schedule)
+            bugs.append(BugRecord(
+                kind=obj["kind"], message=obj["message"],
+                global_rank=obj["global_rank"],
+                testcase=tc, iteration=obj["iteration"],
+                location=obj.get("location", ""),
+                signature=obj.get("signature", ""),
+                schedule=sched_id,
+                pending_ops=tuple(tuple(p) for p in
+                                  obj.get("pending_ops", ()))))
         elif kind == "cov":
             cov_branches.update((s, bool(d)) for s, d in obj["branches"])
         elif kind == "solver":

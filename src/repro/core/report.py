@@ -67,6 +67,18 @@ def campaign_summary(result: CampaignResult) -> str:
                 f"{a.get('solver_time', 0):.2f}s solver "
                 f"({a.get('solver_solves', 0)} solves), "
                 f"ucb={'—' if score is None else f'{score:.3f}'}")
+    sch = result.schedules
+    if sch:
+        lines.append(
+            f"schedules          : {sch.get('explored', 0)} explored "
+            f"({sch.get('schedules_seen', 0)} distinct), "
+            f"frontier {sch.get('frontier', 0)}, "
+            f"{sch.get('decision_nodes', 0)} decision node(s)")
+        if sch.get("divergences") or sch.get("fallbacks"):
+            lines.append(
+                f"  replay fidelity  : {sch.get('divergences', 0)} "
+                f"divergence(s), {sch.get('fallbacks', 0)} quiesce "
+                f"fallback(s)")
     if result.degraded_iterations:
         lines.append(f"degraded iterations: {result.degraded_iterations} "
                      f"(coverage-only; trace harvest failed)")
@@ -79,6 +91,11 @@ def campaign_summary(result: CampaignResult) -> str:
     for b in result.unique_bugs():
         lines.append(f"  bug[{b.kind}] rank {b.global_rank}: {b.message[:90]}")
         lines.append(f"    inputs: {b.testcase.describe()}")
+        if b.schedule:
+            lines.append(f"    schedule: {b.schedule}")
+        if b.pending_ops:
+            lines.append("    pending: " + ", ".join(
+                f"rank {r} in {op}" for r, op in b.pending_ops))
     return "\n".join(lines)
 
 

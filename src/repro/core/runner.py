@@ -66,6 +66,10 @@ class ErrorInfo:
     traceback: str = ""
     #: "file:line:function" of the deepest frame (bug-dedup anchor)
     location: str = ""
+    #: for deadlocks: per-rank pending operations at detection time,
+    #: ``((rank, "Recv(source=..., tag=...)"), ...)`` — makes a
+    #: schedule-found deadlock triageable without rerunning
+    pending: tuple = ()
 
 
 #: frames from these files are runtime helpers, not bug sites — the
@@ -151,6 +155,16 @@ class RunRecord:
     #: (``""`` for a clean harvest) — kept so a degraded iteration is
     #: diagnosable from the run record instead of silently discarded
     harvest_error: str = ""
+    #: canonical schedule ID of the interleaving this run executed
+    #: ("" when no schedule controller was attached)
+    schedule: str = ""
+    #: decision records ``(rank, index, source, tag, candidates, forced,
+    #: fallback)`` in canonical order — what the ScheduleTree expands
+    schedule_decisions: tuple = ()
+    #: prescribed choices that could not be satisfied (replay diverged)
+    schedule_divergences: int = 0
+    #: free decisions taken without provable quiesce (timeout fallback)
+    schedule_fallbacks: int = 0
 
     @property
     def ok(self) -> bool:
@@ -181,7 +195,8 @@ def classify_run(job: JobResult) -> Optional[ErrorInfo]:
         return ErrorInfo(
             kind=KIND_DEADLOCK,
             global_rank=cycle[0] if cycle else -1,
-            message=f"communication deadlock: {job.deadlock.describe()}")
+            message=f"communication deadlock: {job.deadlock.describe()}",
+            pending=tuple(sorted(job.deadlock.waits.items())))
     if job.timed_out:
         return ErrorInfo(kind=KIND_HANG, global_rank=-1,
                          message="test exceeded its timeout (hang/infinite loop)")
@@ -313,13 +328,22 @@ class TestRunner:
         if self.fault_plan is not None:
             # one derived sub-plan per run: deterministic per (seed, run#)
             injector = FaultInjector(self.fault_plan.derive(self._runs))
+        controller = None
+        if self.config.explore_schedules or testcase.schedule:
+            from ..schedules import ReplayController, ScheduleController
+            # a pinned schedule outside exploration mode is a replay
+            # (triage artifacts, `repro replay` on logged bugs)
+            cls = (ScheduleController if self.config.explore_schedules
+                   else ReplayController)
+            controller = cls(prescription=testcase.schedule)
         if timeout is None:
             timeout = self.current_timeout()
         sinks = self._make_sinks(testcase)
         t0 = time.monotonic()
         job = run_job([rank_entry] * testcase.setup.nprocs, sinks=sinks,
                       timeout=timeout, injector=injector,
-                      detect_deadlocks=self.config.detect_deadlocks)
+                      detect_deadlocks=self.config.detect_deadlocks,
+                      match_policy=controller)
         wall = time.monotonic() - t0
         self._runs += 1
         if not job.timed_out:
@@ -363,4 +387,9 @@ class TestRunner:
             degraded=degraded,
             timeout_used=timeout,
             harvest_error=harvest_error,
+            schedule=controller.schedule_id() if controller else "",
+            schedule_decisions=(controller.decision_records()
+                                if controller else ()),
+            schedule_divergences=controller.divergences if controller else 0,
+            schedule_fallbacks=controller.fallbacks if controller else 0,
         )

@@ -61,12 +61,19 @@ class TestCase:
     inputs: dict[str, int]
     setup: TestSetup
     origin: str = "initial"  # 'initial' | 'negation' | 'restart' | 'resume'
+    #:                         | 'schedule' (a schedule-space candidate)
     negated_site: Optional[int] = None
+    #: schedule prescription: ``(rank, index, source, tag)`` entries the
+    #: match controller must force (empty = free/canonical schedule).
+    #: Rides on the test case so triage probes and replay inherit the
+    #: pinned interleaving along with the inputs.
+    schedule: tuple = ()
 
     def describe(self) -> str:
         kv = ", ".join(f"{k}={v}" for k, v in sorted(self.inputs.items()))
+        sched = f" sched[{len(self.schedule)}]" if self.schedule else ""
         return (f"np={self.setup.nprocs} focus={self.setup.focus} "
-                f"[{self.origin}] {kv}")
+                f"[{self.origin}]{sched} {kv}")
 
 
 def default_testcase(specs: dict[str, InputSpec], setup: TestSetup) -> TestCase:

@@ -62,7 +62,9 @@ class Collector:
                             global_rank=err.global_rank,
                             testcase=candidate.testcase,
                             iteration=iteration, location=err.location,
-                            signature=crash_signature(err))
+                            signature=crash_signature(err),
+                            schedule=outcome.schedule,
+                            pending_ops=getattr(err, "pending", ()))
             self.bugs.append(bug)
         return new_branches, bug
 
@@ -90,6 +92,7 @@ class Collector:
             retries=outcome.retries,
             harvest_error=outcome.harvest_error,
             arm=candidate.arm,
+            schedule=outcome.schedule,
         )
 
     def record(self, it_rec: IterationRecord, new_branches: set,

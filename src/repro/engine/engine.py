@@ -134,6 +134,7 @@ class CampaignEngine:
             solver=self.scheduler.session.stats.snapshot(),
             supervision=self._supervision_snapshot(),
             portfolio=self._portfolio_snapshot(),
+            schedules=self._schedules_snapshot(),
         )
         if log is not None:
             log.write_solver(result.solver)
@@ -149,6 +150,12 @@ class CampaignEngine:
         so the engine never imports :mod:`repro.portfolio`)."""
         snap = getattr(self.scheduler, "portfolio_snapshot", None)
         return snap() if snap is not None else None
+
+    def _schedules_snapshot(self) -> Optional[dict]:
+        """Schedule-space exploration telemetry (None outside
+        ``--explore-schedules``; duck-typed for portfolio schedulers)."""
+        explorer = getattr(self.scheduler, "schedules", None)
+        return explorer.telemetry() if explorer is not None else None
 
     def _supervision_snapshot(self) -> Optional[dict]:
         """Supervision + triage telemetry for the final report (None when
@@ -187,6 +194,13 @@ class CampaignEngine:
         sched, col = self.scheduler, self.collector
         new_branches, bug = col.absorb(cand, outcome, self.iteration)
         sched.observe(cand.expect, outcome.trace)
+        # schedule-space frontier: committed decisions feed the tree
+        # *before* advance(), so the alternatives a run discovered are
+        # drainable on the very next iteration (duck-typed: portfolio
+        # schedulers without the hook simply skip schedule exploration)
+        note_schedule = getattr(sched, "note_schedule", None)
+        if note_schedule is not None:
+            note_schedule(cand.testcase, outcome)
         nxt = sched.advance(cand.testcase, outcome.trace,
                             outcome.error.kind if outcome.error else None,
                             col.coverage, self.iteration)

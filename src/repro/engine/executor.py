@@ -83,6 +83,13 @@ class ExecOutcome:
     retries: int = 0
     #: why the trace harvest failed, when ``degraded`` (see RunRecord)
     harvest_error: str = ""
+    #: canonical schedule ID of the executed interleaving ("" when no
+    #: schedule controller was attached; see repro.schedules)
+    schedule: str = ""
+    #: canonical decision records feeding the ScheduleTree
+    schedule_decisions: tuple = ()
+    schedule_divergences: int = 0
+    schedule_fallbacks: int = 0
 
 
 def outcome_from_record(rec: RunRecord, retries: int = 0) -> ExecOutcome:
@@ -101,6 +108,10 @@ def outcome_from_record(rec: RunRecord, retries: int = 0) -> ExecOutcome:
         timed_out=rec.job.timed_out,
         retries=retries,
         harvest_error=rec.harvest_error,
+        schedule=rec.schedule,
+        schedule_decisions=rec.schedule_decisions,
+        schedule_divergences=rec.schedule_divergences,
+        schedule_fallbacks=rec.schedule_fallbacks,
     )
 
 
@@ -417,10 +428,14 @@ def make_executor(program: InstrumentedProgram, config: CompiConfig,
                   supervisor: Optional[CampaignSupervisor] = None) -> Executor:
     """Pick the executor for one campaign.
 
-    Parallel execution requires ``workers > 1`` and no fault injection
-    (fault streams are run-number-indexed; see :mod:`repro.faults.plan`).
+    Parallel execution requires ``workers > 1``, no fault injection
+    (fault streams are run-number-indexed; see :mod:`repro.faults.plan`),
+    and no schedule exploration (the schedule frontier grows from each
+    committed run's decisions, so scheduled candidates must execute in
+    commit order — forcing inline keeps serial ≡ ``--workers N``).
     """
-    if config.workers > 1 and not config.faults:
+    if (config.workers > 1 and not config.faults
+            and not config.explore_schedules):
         return ParallelExecutor(program, config, runner, config.workers,
                                 supervisor=supervisor)
     return InlineExecutor(runner, supervisor=supervisor)

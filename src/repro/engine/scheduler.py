@@ -36,6 +36,7 @@ from ..core.semantics import (capping_constraints, clamp_to_caps,
                               mpi_semantic_constraints, solver_domains)
 from ..core.testcase import InputSpec, TestCase, random_testcase
 from ..faults import FAULT_SOLVER_TIMEOUT
+from ..schedules import ScheduleExplorer
 from ..search.base import SearchStrategy, StrategyContext
 from ..solver.incremental import SolveSession
 
@@ -87,6 +88,12 @@ class Scheduler:
         if self._solver_fault_spec is not None:
             self.solver_fault_rng = random.Random(
                 (fault_plan.seed * 2_654_435_761 - 2 * 97) & 0x7FFFFFFF)
+        #: schedule-space frontier (None unless ``explore_schedules``):
+        #: alternatives discovered by committed runs, drained depth-first
+        #: ahead of input-space derivation
+        self.schedules: Optional[ScheduleExplorer] = (
+            ScheduleExplorer(config.schedule_budget, config.schedule_depth)
+            if config.explore_schedules else None)
         #: the next serial candidate (what a checkpoint must capture)
         self.pending = Candidate(
             random_testcase(self.specs, initial_setup, self.rng))
@@ -111,6 +118,15 @@ class Scheduler:
                 self.caps[var.name] = var.cap
         self._check_divergence(expect, trace)
         self.strategy.register_execution(trace.path)
+
+    def note_schedule(self, testcase: TestCase, outcome) -> None:
+        """Fold one committed execution's match decisions into the
+        schedule frontier (no-op outside ``--explore-schedules``)."""
+        if self.schedules is None:
+            return
+        self.schedules.note(testcase, outcome.schedule_decisions,
+                            divergences=outcome.schedule_divergences,
+                            fallbacks=outcome.schedule_fallbacks)
 
     def _check_divergence(self, expect: Optional[tuple[list, int]],
                           trace: TraceResult) -> None:
@@ -154,6 +170,14 @@ class Scheduler:
         # one fault draw per iteration, before any data-dependent exit,
         # so the stream position is a pure function of the iteration count
         solver_fault = self._solver_timed_out()
+        # drain the schedule frontier ahead of input-space derivation:
+        # scheduled candidates replay known inputs under a forced match
+        # prefix and consume no RNG/solver state, so interleaving them
+        # keeps every stream position a pure function of commit order
+        if self.schedules is not None:
+            scheduled = self.schedules.next_testcase()
+            if scheduled is not None:
+                return Candidate(scheduled)
         if trace is None or not trace.path:
             return self._restart_candidate()
         if solver_fault:

@@ -44,9 +44,21 @@ from ..core.config import CompiConfig
 #: search strategies a shard can name; "two-phase" is the COMPI default.
 #: A shard can also name a *portfolio*: ``portfolio`` (the default arm
 #: mix) or ``portfolio:dfs2+bounded+random+cfg`` (explicit arms, joined
-#: with ``+`` so shard IDs stay comma-free).
+#: with ``+`` so shard IDs stay comma-free).  Any non-portfolio strategy
+#: takes a ``:schedules`` suffix (e.g. ``two-phase:schedules``) that
+#: turns on message-schedule exploration for the shard.
 STRATEGIES = ("two-phase", "bounded", "dfs", "random-branch",
               "uniform-random", "cfg")
+
+
+def split_schedules(name: str) -> tuple[str, bool]:
+    """Split a trailing ``:schedules`` suffix off a strategy string.
+
+    Returns ``(base_strategy, explore_schedules)``.
+    """
+    if name.endswith(":schedules"):
+        return name[:-len(":schedules")], True
+    return name, False
 
 
 def portfolio_arms_from_strategy(name: str):
@@ -88,6 +100,7 @@ def build_strategy(name: str, config: CompiConfig, program):
     from ..search import (BoundedDFS, CfgDirectedSearch, RandomBranchSearch,
                           UniformRandomSearch)
     rng = np.random.default_rng(config.rng_seed(3))
+    name, _ = split_schedules(name)  # the suffix lives in the config
     if name == "two-phase":
         return None
     if portfolio_arms_from_strategy(name) is not None:
@@ -195,7 +208,10 @@ class ShardSpec:
                     init_nprocs=self.nprocs)
         base.setdefault("nprocs_cap", max(self.nprocs,
                                           CompiConfig().nprocs_cap))
-        arms = portfolio_arms_from_strategy(self.strategy)
+        strategy, schedules = split_schedules(self.strategy)
+        if schedules:
+            base["explore_schedules"] = True
+        arms = portfolio_arms_from_strategy(strategy)
         if arms is not None:
             base["portfolio"] = arms
         return CompiConfig.from_dict(base)
@@ -288,11 +304,18 @@ class FleetSpec:
                 raise FleetSpecError(
                     f"unknown target {t!r}; pick from {', '.join(targets)}")
         for st in self.strategies:
-            if st not in STRATEGIES and \
-                    portfolio_arms_from_strategy(st) is None:
+            base, schedules = split_schedules(st)
+            if schedules and portfolio_arms_from_strategy(base) is not None:
+                raise FleetSpecError(
+                    f"strategy {st!r}: ':schedules' cannot ride a "
+                    f"portfolio (the schedule frontier lives on the "
+                    f"single-strategy scheduler — make it its own shard)")
+            if base not in STRATEGIES and \
+                    portfolio_arms_from_strategy(base) is None:
                 raise FleetSpecError(
                     f"unknown strategy {st!r}; pick from "
-                    f"{', '.join(STRATEGIES)}, 'portfolio', or "
+                    f"{', '.join(STRATEGIES)} (optionally with a "
+                    f"':schedules' suffix), 'portfolio', or "
                     f"'portfolio:<arm+arm+...>'")
         for np_ in self.nprocs:
             if not isinstance(np_, int) or np_ < 1:

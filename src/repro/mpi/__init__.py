@@ -41,7 +41,9 @@ def run_spmd(program: Callable[[MpiContext], Optional[int]], size: int,
              timeout: Optional[float] = None,
              sink_factory: Optional[Callable[[int], Any]] = None,
              injector: Optional[Any] = None,
-             detect_deadlocks: bool = True) -> JobResult:
+             detect_deadlocks: bool = True,
+             match_policy: Optional[Any] = None) -> JobResult:
     """Run one SPMD ``program(mpi)`` on ``size`` identical ranks."""
     return mpiexec([ProcSet(size, program, sink_factory)], timeout=timeout,
-                   injector=injector, detect_deadlocks=detect_deadlocks)
+                   injector=injector, detect_deadlocks=detect_deadlocks,
+                   match_policy=match_policy)

@@ -35,6 +35,11 @@ from .waitgraph import RecvWait, WaitForGraph
 # immediately on a matching send, so this only bounds *teardown* latency.
 _POLL_INTERVAL = 0.05
 
+# Poll interval while a scheduled wildcard receive is parked at a
+# decision point: the controller's quiesce check needs two *consecutive*
+# stable observations, so re-polling fast keeps decision latency low.
+_SCHED_POLL = 0.01
+
 _send_seq = itertools.count()
 
 
@@ -43,11 +48,17 @@ class Mailbox:
 
     def __init__(self, owner_rank: int, stop_event: threading.Event,
                  waitgraph: Optional[WaitForGraph] = None,
-                 injector: Optional[Any] = None):
+                 injector: Optional[Any] = None,
+                 policy: Optional[Any] = None):
         self.owner_rank = owner_rank
         self._stop = stop_event
         self._waitgraph = waitgraph
         self._injector = injector
+        #: injectable match policy (repro.schedules.ScheduleController):
+        #: indefinite ANY_SOURCE receives route their match step through
+        #: it, turning each into a controllable decision point.  ``None``
+        #: (the default) keeps the classic eager earliest-send matching.
+        self._policy = policy
         self._lock = threading.Lock()
         self._cond = threading.Condition(self._lock)
         self._messages: list[Message] = []
@@ -98,10 +109,17 @@ class Mailbox:
             self._injector.on_call(self.owner_rank)
         deadline = None if timeout is None else time.monotonic() + timeout
         registered = False
+        scheduled = (self._policy is not None and timeout is None
+                     and source == ANY_SOURCE)
         try:
             with self._cond:
                 while True:
-                    idx = self._match_index(source, tag, tag_range)
+                    if scheduled:
+                        # lazy matching: wildcard receives are decision
+                        # points; the controller picks (or defers) the match
+                        idx = self._policy.select(self, source, tag, tag_range)
+                    else:
+                        idx = self._match_index(source, tag, tag_range)
                     if idx is not None:
                         msg = self._messages.pop(idx)
                         return msg.payload, Status(source=msg.source, tag=msg.tag)
@@ -122,7 +140,8 @@ class Mailbox:
                                 rank=self.owner_rank, source=source, tag=tag,
                                 tag_range=tag_range))
                             registered = True
-                        self._cond.wait(_POLL_INTERVAL)
+                        self._cond.wait(_SCHED_POLL if scheduled
+                                        else _POLL_INTERVAL)
         finally:
             if registered:
                 self._waitgraph.unblock(self.owner_rank)

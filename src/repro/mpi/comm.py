@@ -112,13 +112,25 @@ class Communicator:
         trange = self._tag_range() if tag == ANY_TAG else None
         mbox = self.job.mailboxes[self._global_rank]
 
-        def completer(timeout: Optional[float]) -> tuple[Any, Status]:
-            payload, st = mbox.receive(source=gsource, tag=ktag, timeout=timeout,
-                                       tag_range=trange)
+        def completer(timeout: Optional[float],
+                      _pin: Optional[tuple[int, int]] = None) -> tuple[Any, Status]:
+            if _pin is not None:
+                # schedule controller already chose the concrete match;
+                # a concrete (source, tag) receive is deterministic (FIFO)
+                payload, st = mbox.receive(source=_pin[0], tag=_pin[1],
+                                           timeout=timeout)
+            else:
+                payload, st = mbox.receive(source=gsource, tag=ktag,
+                                           timeout=timeout, tag_range=trange)
             return payload, Status(source=self.global_to_local(st.source),
                                    tag=st.tag & 0xFFFFF)
 
-        return Request(completer=completer)
+        completer.accepts_pin = True
+        req = Request(completer=completer)
+        #: (mailbox, global source, keyed tag, tag range) — lets waitany
+        #: treat pending wildcard Irecvs as one schedule decision point
+        req._sched = (mbox, gsource, ktag, trange)
+        return req
 
     def Probe(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Status:
         """Blocking probe: wait until a matching message is available,

@@ -39,7 +39,8 @@ class ProcSet:
 
 def mpiexec(procsets: list[ProcSet], timeout: Optional[float] = None,
             grace: float = 2.0, injector: Optional[Any] = None,
-            detect_deadlocks: bool = True) -> JobResult:
+            detect_deadlocks: bool = True,
+            match_policy: Optional[Any] = None) -> JobResult:
     """Launch the MPMD job described by ``procsets`` and wait for it."""
     entries: list[Entry] = []
     sinks: list[Any] = []
@@ -51,7 +52,8 @@ def mpiexec(procsets: list[ProcSet], timeout: Optional[float] = None,
     if not entries:
         raise ValueError("empty launch specification")
     return run_job(entries, sinks=sinks, timeout=timeout, grace=grace,
-                   injector=injector, detect_deadlocks=detect_deadlocks)
+                   injector=injector, detect_deadlocks=detect_deadlocks,
+                   match_policy=match_policy)
 
 
 def focus_launch(size: int, focus: int, heavy: ProcSet, light: ProcSet,

@@ -39,7 +39,8 @@ class Job:
     """Shared state of one running MPI job."""
 
     def __init__(self, size: int, injector: Optional[Any] = None,
-                 detect_deadlocks: bool = True):
+                 detect_deadlocks: bool = True,
+                 match_policy: Optional[Any] = None):
         if size < 1:
             raise ValueError(f"job size must be >= 1, got {size}")
         self.size = size
@@ -47,8 +48,14 @@ class Job:
         self.injector = injector
         self.waitgraph = WaitForGraph() if detect_deadlocks else None
         self.deadlock: Optional[DeadlockInfo] = None
+        #: injectable match policy (repro.schedules): wildcard receives
+        #: become controllable decision points when set
+        self.match_policy = match_policy
+        self._finished_lock = threading.Lock()
+        self._finished: set[int] = set()
         self.mailboxes = [Mailbox(r, self.stop_event,
-                                  waitgraph=self.waitgraph, injector=injector)
+                                  waitgraph=self.waitgraph, injector=injector,
+                                  policy=match_policy)
                           for r in range(size)]
         self.collectives = CollectiveEngine(self.stop_event,
                                             waitgraph=self.waitgraph,
@@ -57,6 +64,17 @@ class Job:
         self._abort_lock = threading.Lock()
         self.abort_code: Optional[int] = None
         self.abort_origin: Optional[int] = None
+        if match_policy is not None:
+            match_policy.bind_job(self)
+
+    def note_rank_finished(self, rank: int) -> None:
+        """A rank's entry returned (or raised): it can send no more."""
+        with self._finished_lock:
+            self._finished.add(rank)
+
+    def finished_ranks(self) -> frozenset[int]:
+        with self._finished_lock:
+            return frozenset(self._finished)
 
     def abort(self, errorcode: int = 1, origin: Optional[int] = None) -> None:
         """``MPI_Abort``: stop every rank.  The caller also raises locally."""
@@ -126,7 +144,8 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
             timeout: Optional[float] = None,
             grace: float = 2.0,
             injector: Optional[Any] = None,
-            detect_deadlocks: bool = True) -> JobResult:
+            detect_deadlocks: bool = True,
+            match_policy: Optional[Any] = None) -> JobResult:
     """Run one MPMD job: ``entries[r]`` is rank *r*'s entry point.
 
     ``sinks[r]``, when given, is attached to rank *r*'s context (the
@@ -140,10 +159,14 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
     graph while waiting: a proven communication deadlock stops the job
     immediately — long before the watchdog — and is reported via
     ``JobResult.deadlock``.  ``injector`` attaches a fault injector
-    (:mod:`repro.faults`) to every communication hook point.
+    (:mod:`repro.faults`) to every communication hook point;
+    ``match_policy`` attaches a schedule controller
+    (:mod:`repro.schedules`) that turns wildcard receives into
+    deterministic, replayable decision points.
     """
     size = len(entries)
-    job = Job(size, injector=injector, detect_deadlocks=detect_deadlocks)
+    job = Job(size, injector=injector, detect_deadlocks=detect_deadlocks,
+              match_policy=match_policy)
     outcomes = [RankOutcome(global_rank=r) for r in range(size)]
 
     def runner(rank: int) -> None:
@@ -164,6 +187,7 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
                 job.request_stop()
         finally:
             out.elapsed = time.monotonic() - t0
+            job.note_rank_finished(rank)
             out.finished = True
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True,

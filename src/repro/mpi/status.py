@@ -49,13 +49,24 @@ class Request:
     def done(self) -> bool:
         return self._done
 
-    def wait(self, timeout: Optional[float] = None) -> Any:
+    def wait(self, timeout: Optional[float] = None,
+             _pin: Optional[tuple[int, int]] = None) -> Any:
         """Block until the operation completes; return the received payload
-        (``None`` for send requests)."""
+        (``None`` for send requests).
+
+        ``_pin=(source, tag)`` narrows a wildcard receive to one concrete
+        match — used by the schedule controller to complete the request
+        the decision point chose (ignored by completers that predate it).
+        """
         with self._lock:
             if not self._done:
                 assert self._completer is not None
-                self._payload, self._status = self._completer(timeout)
+                if _pin is not None and getattr(self._completer,
+                                                "accepts_pin", False):
+                    self._payload, self._status = self._completer(timeout,
+                                                                  _pin)
+                else:
+                    self._payload, self._status = self._completer(timeout)
                 self._done = True
                 self._completer = None
             return self._payload
@@ -100,11 +111,34 @@ def waitany(requests: list[Request]) -> tuple[int, Any]:
     Polls with ``test()`` like a real progress engine; completed requests
     must be removed by the caller (as in MPI, where the request becomes
     inactive).
+
+    When the job runs under a schedule controller and every pending
+    request is a wildcard ``Irecv``, the whole call is treated as one
+    match decision point instead (see :mod:`repro.schedules`): the
+    controller picks which request completes, deterministically or as
+    prescribed by a replayed schedule.
     """
     import time as _time
 
     if not requests:
         raise ValueError("waitany on empty request list")
+    controller = None
+    for r in requests:
+        if r.done:
+            continue
+        meta = getattr(r, "_sched", None)
+        if meta is None:
+            controller = None
+            break
+        policy = getattr(meta[0], "_policy", None)
+        if policy is None:
+            controller = None
+            break
+        controller = policy
+    if controller is not None:
+        result = controller.waitany(requests)
+        if result is not None:
+            return result
     while True:
         for i, r in enumerate(requests):
             if r.test():

@@ -1,0 +1,103 @@
+"""Canonical schedule identifiers.
+
+A *schedule* is the sequence of nondeterministic message-match decisions
+one execution made.  Each decision is identified by its **site** — the
+pair ``(rank, index)`` where ``index`` is that rank's decision counter
+(0, 1, 2, ... in program order) — plus the **choice** taken there: the
+global source rank and (communicator-keyed) tag of the message that was
+matched.
+
+The schedule ID is the canonical text encoding of those tuples, ordered
+by site.  Site order is a valid canonical linearization because per-rank
+indices follow program order and decisions on *different* ranks are only
+taken when the rest of the job is quiescent (see
+:mod:`repro.schedules.controller`), so they commute.  The ID is a pure
+function of the decisions — independent of seeds, wall time, thread
+timing, or iteration number — which is what lets a triage artifact or a
+checkpoint re-pin the exact interleaving later.
+
+Wire format (one entry per decision, ``;``-separated)::
+
+    r<rank>.<index>=s<source>.t<tag>
+
+e.g. ``r0.0=s2.t1048577;r0.1=s1.t1048577``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+#: schedule-entry tuple: (rank, index, source, tag)
+Entry = tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One committed match decision, with the alternatives that existed."""
+
+    rank: int                         # deciding (receiving) global rank
+    index: int                        # per-rank decision counter
+    source: int                       # chosen global source rank
+    tag: int                          # chosen (communicator-keyed) tag
+    #: every (source, tag) pair that was matchable at commit time,
+    #: sorted — the alternatives the ScheduleTree will enumerate
+    candidates: tuple[tuple[int, int], ...] = ()
+    #: True when the choice was prescribed (replay / DFS prefix)
+    forced: bool = False
+    #: True when a prescribed choice could not be satisfied and the
+    #: controller fell back to the canonical choice (divergence)
+    fallback: bool = False
+
+    @property
+    def site(self) -> tuple[int, int]:
+        return (self.rank, self.index)
+
+    def entry(self) -> Entry:
+        return (self.rank, self.index, self.source, self.tag)
+
+    def record(self) -> tuple:
+        """Plain-tuple form for pickling/JSON round trips."""
+        return (self.rank, self.index, self.source, self.tag,
+                tuple(self.candidates), self.forced, self.fallback)
+
+
+def canonical_decisions(decisions: Iterable[Decision]) -> tuple[Decision, ...]:
+    """Decisions in canonical (site) order."""
+    return tuple(sorted(decisions, key=lambda d: d.site))
+
+
+def schedule_entries(decisions: Iterable[Decision]) -> tuple[Entry, ...]:
+    return tuple(d.entry() for d in canonical_decisions(decisions))
+
+
+def encode_schedule(entries: Sequence[Entry]) -> str:
+    """Entries -> canonical schedule ID string ('' for the root schedule)."""
+    ordered = sorted(tuple(e) for e in entries)
+    return ";".join(f"r{r}.{i}=s{s}.t{t}" for (r, i, s, t) in ordered)
+
+
+def decode_schedule(sid: str) -> tuple[Entry, ...]:
+    """Schedule ID string -> entry tuples (inverse of encode_schedule)."""
+    if not sid:
+        return ()
+    out = []
+    for part in sid.split(";"):
+        site_s, choice_s = part.split("=", 1)
+        if not (site_s.startswith("r") and choice_s.startswith("s")):
+            raise ValueError(f"malformed schedule entry: {part!r}")
+        rank_s, index_s = site_s[1:].split(".", 1)
+        src_s, tag_s = choice_s[1:].split(".t", 1)
+        out.append((int(rank_s), int(index_s), int(src_s), int(tag_s)))
+    return tuple(sorted(out))
+
+
+def normalize_prescription(value) -> tuple[Entry, ...]:
+    """Coerce a prescription from any serialized form (string ID, list of
+    lists from JSON, tuple of tuples) into canonical entry tuples."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return decode_schedule(value)
+    return tuple(sorted((int(r), int(i), int(s), int(t))
+                        for (r, i, s, t) in value))

@@ -197,6 +197,12 @@ class CrashTriage:
             "nprocs": bug.testcase.setup.nprocs,
             "focus": bug.testcase.setup.focus,
             "inputs": dict(bug.testcase.inputs),
+            # the schedule ID pins the message interleaving: `triage
+            # replay` decodes it back onto the testcase so the replayed
+            # run makes the same wildcard match decisions (minimization
+            # probes above inherit it through dataclasses.replace)
+            "schedule": bug.schedule,
+            "pending_ops": [list(p) for p in bug.pending_ops],
             "minimized_inputs": dict(minimized_inputs),
             "removed_inputs": sorted(
                 k for k in bug.testcase.inputs

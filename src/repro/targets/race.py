@@ -1,0 +1,100 @@
+"""A message-race target: bugs reachable only under rare interleavings.
+
+The master folds worker contributions with an **order-sensitive**
+accumulator (``total = total*2 + part``) received through wildcard
+receives.  The workers relay a token — worker *i* sends its part only
+after worker *i-1* has sent both its part and the token — so under the
+substrate's default (canonical) matching the parts always arrive, and
+match, in rank order ``1, 2, ..., size-1``.  A plain campaign therefore
+*never* sees the seeded bugs, no matter how many iterations it runs:
+they live in schedule space, not input space.
+
+Two bugs hide behind non-canonical match orders
+(``--explore-schedules`` finds both by re-running the same inputs under
+forced alternative wildcard matches, see :mod:`repro.schedules`):
+
+* **deadlock** — if the *first* wildcard match delivers worker 2's part,
+  the master posts ``Recv(source=1, tag=9)`` expecting a "priority"
+  retransmit that no worker ever sends: an orphan wait, flagged by the
+  wait-for-graph detector with the full per-rank pending-op list;
+* **assertion** — any other non-canonical order folds a different
+  ``total`` than the rank-order reference and trips the master's
+  consistency assert.
+
+The concolic inputs gate ordinary branch work (sanity checks + a work
+loop) so the input-space search keeps making progress alongside the
+schedule search.
+"""
+
+from repro.concolic.marking import compi_int
+
+INPUT_SPEC = {
+    "x": {"default": 10, "lo": -100, "hi": 100},
+    "y": {"default": 5, "lo": -100, "hi": 100},
+}
+
+#: tag for worker parts (and the master's phantom retransmit request)
+TAG_PART = 1
+#: tag for the worker-to-worker relay token
+TAG_TOKEN = 2
+#: tag of the retransmit the master (wrongly) expects from worker 1
+TAG_PRIORITY = 9
+
+
+def main(mpi, args):
+    """Token-relay reduction with an order-sensitive fold at the master."""
+    mpi.Init()
+    rank = mpi.Comm_rank(mpi.COMM_WORLD)
+    size = mpi.Comm_size(mpi.COMM_WORLD)
+
+    x = compi_int(args["x"], "x")
+    y = compi_int(args["y"], "y")
+
+    if x <= 0:                        # condition 0: sanity check
+        mpi.Finalize()
+        return 1
+
+    if size >= 3 and rank == 0:       # condition 1: master arm
+        total = 0
+        first = None
+        i = 0
+        while i < int(size) - 1:      # condition 2: gather loop
+            part, status = mpi.COMM_WORLD.Recv(source=mpi.ANY_SOURCE,
+                                               tag=TAG_PART)
+            if first is None:
+                first = status.source
+                if first == 2:        # condition 3: the race branch
+                    # mistaken belief: worker 2 overtaking worker 1
+                    # means worker 1 retransmits with priority.  Nobody
+                    # ever sends (source=1, tag=9) — an orphan wait the
+                    # deadlock detector reports with per-rank pending ops.
+                    part, _ = mpi.COMM_WORLD.Recv(source=1,
+                                                  tag=TAG_PRIORITY)
+            total = total * 2 + int(part)
+            i += 1
+        # rank-order reference: the only fold the author ever saw
+        expected = 0
+        for r in range(1, int(size)):
+            expected = expected * 2 + r
+        assert total == expected, (
+            f"order-sensitive fold diverged: total={total} "
+            f"expected={expected} (first sender was rank {first})")
+    elif size >= 3:
+        if rank > 1:                  # condition 4: wait for the relay
+            mpi.COMM_WORLD.Recv(source=rank - 1, tag=TAG_TOKEN)
+        mpi.COMM_WORLD.Send(int(rank), dest=0, tag=TAG_PART)
+        if rank < int(size) - 1:      # condition 5: pass the token on
+            mpi.COMM_WORLD.Send(1, dest=rank + 1, tag=TAG_TOKEN)
+
+    if y > 50:                        # condition 6
+        work = x + y
+    else:
+        work = x - y
+
+    i = 0
+    while i < x % 5:                  # condition 7: bounded work loop
+        work += rank
+        i += 1
+
+    mpi.Finalize()
+    return 0

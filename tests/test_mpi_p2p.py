@@ -209,3 +209,69 @@ def test_blocking_probe_unwinds_on_shutdown():
     res = run_spmd(prog, size=1, timeout=0.4)
     assert res.timed_out
     assert isinstance(res.outcomes[0].error, MpiShutdown)
+
+
+def _mixed_wildcard_prog(got):
+    """Two senders interleave posts under one tag; the root drains them
+    through ANY_SOURCE + concrete-tag receives."""
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        if rank != 0:
+            for i in range(4):
+                mpi.COMM_WORLD.Send((rank, i), dest=0, tag=3)
+            mpi.COMM_WORLD.Barrier()
+        else:
+            mpi.COMM_WORLD.Barrier()  # every send has landed: the match
+            for _ in range(8):        # order is pure matching policy
+                v, st = mpi.COMM_WORLD.Recv(source=ANY_SOURCE, tag=3)
+                got.append((st.source, v[1]))
+
+    return prog
+
+
+def test_any_source_concrete_tag_preserves_per_sender_fifo():
+    got = []
+    res = run_spmd(_mixed_wildcard_prog(got), size=3, timeout=10)
+    assert res.ok
+    assert len(got) == 8
+    for sender in (1, 2):
+        assert [i for s, i in got if s == sender] == [0, 1, 2, 3]
+
+
+def test_any_source_concrete_tag_fifo_under_schedule_policy():
+    # the schedule controller's canonical choice (min (source, tag) pair,
+    # then earliest seq) must never reorder one sender's stream
+    from repro.schedules import ScheduleController
+
+    got = []
+    res = run_spmd(_mixed_wildcard_prog(got), size=3, timeout=10,
+                   match_policy=ScheduleController())
+    assert res.ok
+    assert len(got) == 8
+    for sender in (1, 2):
+        assert [i for s, i in got if s == sender] == [0, 1, 2, 3]
+
+
+def test_concrete_source_any_tag_preserves_send_order():
+    got = []
+
+    def prog(mpi):
+        mpi.Init()
+        rank = mpi.Comm_rank(mpi.COMM_WORLD)
+        if rank == 0:
+            for i, tag in enumerate([5, 2, 9, 2, 5]):
+                mpi.COMM_WORLD.Send(i, dest=1, tag=tag)
+            mpi.COMM_WORLD.Barrier()
+        else:
+            mpi.COMM_WORLD.Barrier()  # all five pending before matching
+            for _ in range(5):
+                v, st = mpi.COMM_WORLD.Recv(source=0, tag=ANY_TAG)
+                got.append((v, st.tag))
+
+    res = run_spmd(prog, size=2, timeout=10)
+    assert res.ok
+    # non-overtaking: one sender's messages arrive in send order even
+    # though the receive matches every tag
+    assert got == [(0, 5), (1, 2), (2, 9), (3, 2), (4, 5)]
