@@ -16,6 +16,13 @@ from typing import Any, Iterator, Optional
 
 _tls = threading.local()
 
+#: The thread-local store itself.  The instrumented-probe fast paths
+#: (:func:`repro.instrument.loader.make_probes`) read ``tls.sink``
+#: directly — one ``getattr`` instead of a function call — because they
+#: run once per branch evaluation of every instrumented target.  All
+#: other code should go through the functions below.
+tls = _tls
+
 
 def current_sink() -> Optional[Any]:
     """The recorder attached to the calling thread, or ``None``."""

@@ -72,10 +72,47 @@ class LightSink:
         self.coverage = CoverageMap()
         self._stop: Optional[threading.Event] = None
         self._probe_calls = 0
+        #: batched-probe hit arrays (``None`` = per-call recording).
+        #: ``branch_hits[2*sid + outcome]`` is set by the probe fast path
+        #: for concrete-only evaluations; :meth:`flush` folds both arrays
+        #: into the coverage map.  See docs/PERFORMANCE.md.
+        self.branch_hits: Optional[bytearray] = None
+        self.func_hits: Optional[bytearray] = None
 
     # -- runtime wiring -------------------------------------------------
     def bind_stop_event(self, event: threading.Event) -> None:
         self._stop = event
+
+    def preallocate(self, n_sites: int, n_functions: int) -> None:
+        """Enable batched probes: one byte per static branch direction
+        and per function.  Site/function IDs are deterministic and dense
+        (see :class:`~repro.instrument.sites.SiteRegistry`), so the probe
+        fast path indexes with ``2*sid + outcome`` / ``fid`` directly.
+        Implicit sites (negative IDs) never take the fast path."""
+        self.branch_hits = bytearray(2 * n_sites)
+        self.func_hits = bytearray(n_functions)
+
+    def flush(self) -> None:
+        """Fold the batched hit arrays into the coverage map.
+
+        Called once per run by the harvest (and by :meth:`serialize` /
+        :meth:`result`); idempotent, and a no-op for per-call sinks.
+        The resulting coverage map is identical to what per-call
+        recording would have produced — the arrays only change *when*
+        branches are recorded, never *what*.
+        """
+        hits = self.branch_hits
+        if hits is not None:
+            add = self.coverage.branches.add
+            for idx in range(len(hits)):
+                if hits[idx]:
+                    add((idx >> 1, bool(idx & 1)))
+        fhits = self.func_hits
+        if fhits is not None:
+            fadd = self.coverage.functions.add
+            for fid in range(len(fhits)):
+                if fhits[fid]:
+                    fadd(fid)
 
     def _poll_stop(self) -> None:
         self._probe_calls += 1
@@ -106,6 +143,7 @@ class LightSink:
     # -- log accounting ---------------------------------------------------
     def serialize(self) -> bytes:
         """The bytes this rank would write for the driver (Table IV)."""
+        self.flush()
         lines = [f"{s},{int(d)}" for (s, d) in sorted(self.coverage.branches)]
         lines += [f"f{fid}" for fid in sorted(self.coverage.functions)]
         return ("\n".join(lines) + "\n").encode()
@@ -220,6 +258,7 @@ class HeavySink(LightSink):
 
     # -- results -------------------------------------------------------------
     def result(self) -> TraceResult:
+        self.flush()
         return TraceResult(
             vars=list(self.vars),
             values=dict(self.values),

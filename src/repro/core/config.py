@@ -101,6 +101,30 @@ class CompiConfig:
     #: loop exits forever.
     divergence_detection: bool = True
 
+    # -- hot-path performance (docs/PERFORMANCE.md) ------------------------
+    #: batched coverage probes: concrete-only branch/iter/function probes
+    #: record into preallocated per-sink hit arrays (one byte per branch
+    #: direction) flushed into the coverage map once per run, instead of
+    #: dispatching a recorder method per evaluation.  Symbolic-relevant
+    #: evaluations always keep the full probe path.  Traces, coverage and
+    #: serialized logs are identical either way — see the batched ≡
+    #: per-call determinism test.
+    probe_batching: bool = True
+    #: persistent incremental solving: the scheduler keeps one simplified
+    #: *invariant stem* (MPI semantics + caps) plus an incremental
+    #: path-prefix simplification ladder alive inside the SolveSession
+    #: across iterations, instead of re-simplifying the full context for
+    #: every negation.  Results are bit-for-bit identical to the
+    #: rebuild-per-solve path (see docs/PERFORMANCE.md).
+    persistent_solver: bool = True
+    #: speculation-tree depth: generations of speculative candidates the
+    #: engine may chain per pipeline.  After an adopted prediction the
+    #: in-flight batch is refilled with further siblings of the freshly
+    #: committed trace (up to ``depth - 1`` refills), keeping the worker
+    #: pool saturated between commits.  ``1`` = the pre-tree behaviour
+    #: (one sibling batch, no refill).  Inline execution ignores it.
+    speculation_depth: int = 4
+
     # -- staged engine: parallel speculative execution ---------------------
     #: worker processes for the executor stage; 1 = inline (serial,
     #: bit-for-bit the classic loop).  N > 1 runs speculative candidate

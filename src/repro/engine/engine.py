@@ -17,6 +17,18 @@ One engine step:
    test case; otherwise the remaining batch is **squashed** (cancelled /
    discarded) and a fresh batch is launched.
 
+On an adoption the pipeline has a free slot, and the paper's point
+about solver latency applies in reverse: idle workers are wasted
+executions.  The **depth-k speculation tree**
+(``CompiConfig.speculation_depth``) refills those slots with a fresh
+generation of siblings speculated from the *latest committed* trace,
+chaining up to ``speculation_depth`` generations onto one pipeline
+before forcing a fresh batch.  Refilled candidates are ordinary
+speculations — verified against the serial derivation before adoption,
+squashed on mispredict — so the committed stream stays bit-for-bit
+serial; ``speculation_depth=1`` reproduces the single-generation
+behaviour exactly.
+
 Because only verified predictions commit, the committed iteration stream
 — coverage deltas, bug set, per-iteration telemetry, RNG/solver/search
 state — is bit-for-bit identical under every executor and width.  That
@@ -58,6 +70,20 @@ class CampaignEngine:
         self.speculation_hits = 0
         #: speculative executions squashed as mispredicted (telemetry)
         self.speculation_squashes = 0
+        #: mid-batch refill generations launched by the speculation tree
+        self.speculation_refills = 0
+        #: pool-saturation telemetry: in-flight executions sampled at
+        #: each commit (average = _inflight_total / _inflight_samples)
+        self._inflight_total = 0
+        self._inflight_samples = 0
+
+    @property
+    def avg_inflight(self) -> float:
+        """Mean in-flight executions observed at commit time — the
+        pool-saturation metric BENCH_engine.json reports."""
+        if not self._inflight_samples:
+            return 0.0
+        return self._inflight_total / self._inflight_samples
 
     # ------------------------------------------------------------------
     @property
@@ -93,10 +119,15 @@ class CampaignEngine:
             return True
 
         batch: list[tuple[Candidate, PendingRun]] = []
+        #: generations chained onto the current pipeline (speculation tree)
+        spec_gen = 1
         try:
             while budget_left():
                 if not batch:
                     batch = self._launch([self.scheduler.pending])
+                    spec_gen = 1
+                self._inflight_total += len(batch)
+                self._inflight_samples += 1
                 cand, pending = batch.pop(0)
                 outcome = pending.result()
                 self._commit(cand, outcome, start)
@@ -107,6 +138,20 @@ class CampaignEngine:
                     # but carry the authoritative serial expectation
                     batch[0] = (nxt, batch[0][1])
                     self.speculation_hits += 1
+                    room = self.width - len(batch)
+                    if (room > 0 and budget_left()
+                            and spec_gen < self.config.speculation_depth):
+                        # speculation tree: refill the freed slots with a
+                        # new generation speculated from the trace that
+                        # just committed, skipping in-flight test cases
+                        extra = self.scheduler.speculate(
+                            cand.testcase, outcome.trace, nxt, room,
+                            col.coverage, self.iteration,
+                            avoid=[c.testcase for c, _ in batch])
+                        if extra:
+                            batch.extend(self._launch(extra))
+                            self.speculation_refills += 1
+                            spec_gen += 1
                     continue
                 self._squash(batch)
                 batch = []
@@ -115,6 +160,7 @@ class CampaignEngine:
                         cand.testcase, outcome.trace, nxt, self.width - 1,
                         col.coverage, self.iteration)
                     batch = self._launch([nxt] + spec)
+                    spec_gen = 1
         finally:
             self._squash(batch)
 

@@ -193,11 +193,16 @@ class Scheduler:
 
         path = trace.path
         semantics, caps_cons, domains = self._solve_context(trace)
+        # persistent solving: install (or reuse) the trace's invariant
+        # stem once, then solve every negation through its prefix ladder
+        frame = (self.session.stem(semantics + caps_cons)
+                 if cfg.persistent_solver else None)
         ctx = StrategyContext(path=path, coverage=coverage,
                               iteration=iteration)
         for pos in self.strategy.propose(ctx):
             built = self._solve_position(tc, trace, pos, semantics,
-                                         caps_cons, domains, self.session)
+                                         caps_cons, domains, self.session,
+                                         frame)
             if built is None:
                 self.strategy.mark_infeasible(path, pos)
                 continue
@@ -209,12 +214,17 @@ class Scheduler:
     # ------------------------------------------------------------------
     def speculate(self, tc: TestCase, trace: Optional[TraceResult],
                   serial: Candidate, width: int, coverage: CoverageMap,
-                  iteration: int) -> list[Candidate]:
+                  iteration: int,
+                  avoid: Optional[list[TestCase]] = None) -> list[Candidate]:
         """Up to ``width`` speculative siblings of the serial candidate.
 
         Solved against a forked solve session; infeasibility here is
         *not* recorded (the committed stream must discover it itself), so
         the campaign stays bit-for-bit serial regardless of speculation.
+
+        ``avoid`` lists test cases already in flight (the depth-k
+        speculation tree refills the pool mid-batch); candidates equal
+        to one of them are skipped so the pool never runs duplicates.
         """
         if width <= 0 or trace is None or not trace.path:
             return []
@@ -226,6 +236,10 @@ class Scheduler:
         ctx = StrategyContext(path=path, coverage=coverage,
                               iteration=iteration)
         session = self.session.fork()
+        # the fork shares the committed stream's stem frame, so the
+        # ladder warmed here is the one advance() extends next step
+        frame = (session.stem(semantics + caps_cons)
+                 if self.config.persistent_solver else None)
         out: list[Candidate] = []
         probe = width + _SPECULATION_PROBE_SLACK
         # the random/CFG strategies draw from their RNG while proposing;
@@ -237,10 +251,14 @@ class Scheduler:
                 if pos == serial_pos:
                     continue
                 built = self._solve_position(tc, trace, pos, semantics,
-                                             caps_cons, domains, session)
+                                             caps_cons, domains, session,
+                                             frame)
                 if built is None:
                     continue
                 built.speculative = True
+                if avoid is not None and any(
+                        built.testcase == a for a in avoid):
+                    continue   # already in flight: don't relaunch it
                 out.append(built)
                 if len(out) >= width:
                     break
@@ -261,19 +279,27 @@ class Scheduler:
 
     def _solve_position(self, tc: TestCase, trace: TraceResult, pos: int,
                         semantics, caps_cons, domains,
-                        session: SolveSession) -> Optional[Candidate]:
+                        session: SolveSession,
+                        frame=None) -> Optional[Candidate]:
         """Solve one negation; build its candidate (None = infeasible).
 
         The invariant context (MPI semantics + caps) leads and the
         position-dependent path prefix trails, so the session's
         simplify memo sees consecutive contexts as extensions of a
-        shared stem instead of always-different lists.
+        shared stem instead of always-different lists.  With a stem
+        ``frame`` (``persistent_solver``), the same query goes through
+        :meth:`~repro.solver.incremental.SolveSession.solve_at` and the
+        frame's prefix ladder — bit-for-bit the same result.
         """
         path = trace.path
         prefix = [pe.constraint for pe in path[:pos]]
         negated = path[pos].constraint.negated()
-        res = session.solve(semantics + caps_cons + prefix, negated,
-                            domains, previous=dict(trace.values))
+        if frame is not None:
+            res = session.solve_at(frame, prefix, negated, domains,
+                                   previous=dict(trace.values))
+        else:
+            res = session.solve(semantics + caps_cons + prefix, negated,
+                                domains, previous=dict(trace.values))
         if res is None:
             return None
         new_inputs = {name: int(res.assignment[vid])

@@ -27,8 +27,9 @@ import types
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
-from ..concolic.context import current_sink
+from ..concolic.context import tls
 from ..concolic.sym import SymBool, SymInt
+from ..mpi.errors import MpiShutdown
 from .sites import SiteRegistry
 from .transform import (BRANCH_PROBE, FUNC_PROBE, ITER_PROBE,
                         instrument_source)
@@ -37,46 +38,128 @@ _program_ids = itertools.count()
 
 
 def make_probes(registry: SiteRegistry) -> dict[str, Callable]:
-    """Build the runtime probe functions injected into instrumented code."""
+    """Build the runtime probe functions injected into instrumented code.
+
+    These run once per branch evaluation of every instrumented target —
+    the engine's hottest path — so each probe carries two recording
+    routes:
+
+    * **batched** — when the calling thread's sink has preallocated hit
+      arrays (:meth:`~repro.concolic.trace.LightSink.preallocate`, wired
+      by the runner under ``CompiConfig.probe_batching``), a *concrete*
+      evaluation writes one byte into ``branch_hits[2*sid + outcome]``
+      and returns.  The arrays are flushed into the coverage map once
+      per run.
+    * **per-call** — without arrays (direct sink construction, or
+      ``probe_batching=False``), every evaluation dispatches the
+      classic ``sink.on_branch`` / ``sink.on_function`` recorder call.
+
+    Determinism contract: the two routes are observably identical —
+    same coverage map, same trace (symbolic-relevant evaluations always
+    take the full ``observe``/``on_branch`` path so path constraints,
+    reduction and implicit sites are untouched), same serialized log
+    bytes, same heavy-rank event log and event count, and the same
+    stop-poll cadence (one poll per 256 probe calls, shared counter).
+    ``tests/test_hotpath_determinism.py`` enforces this on the demo and
+    race targets.
+    """
 
     def __compi_branch__(sid: int, val: Any) -> bool:
-        sink = current_sink()
+        sink = getattr(tls, "sink", None)
         if sink is None:
             if isinstance(val, (SymBool, SymInt)):
                 return bool(val.concrete)
             return bool(val)
-        if isinstance(val, SymBool):
+        if val is True or val is False:
+            # the light-rank common case: a plain comparison result —
+            # skip the symbolic-proxy type checks entirely
+            outcome = val
+        elif isinstance(val, SymBool):
             if val.constraint is not None:
-                return val.observe(sid)
-            sink.on_branch(sid, val.concrete, None)
-            return val.concrete
-        if isinstance(val, SymInt):
+                return val.observe(sid)       # symbolic: full probe path
+            outcome = val.concrete
+        elif isinstance(val, SymInt):
             # C truthiness `if (x)` ≡ `x != 0`
             sb = val != 0
             if isinstance(sb, SymBool) and sb.constraint is not None:
-                return sb.observe(sid)
-            sink.on_branch(sid, val.concrete != 0, None)
-            return val.concrete != 0
-        outcome = bool(val)
-        sink.on_branch(sid, outcome, None)
+                return sb.observe(sid)        # symbolic: full probe path
+            outcome = val.concrete != 0
+        else:
+            outcome = True if val else False
+        hits = sink.branch_hits
+        if hits is None:
+            sink.on_branch(sid, outcome, None)
+            return outcome
+        # batched fast path: concrete-only evaluation, no recorder call
+        hits[sid + sid + outcome] = 1
+        calls = sink._probe_calls + 1
+        sink._probe_calls = calls
+        if not calls % 256:
+            stop = sink._stop
+            if stop is not None and stop.is_set():
+                raise MpiShutdown(
+                    f"rank {sink.global_rank} cancelled in probe")
+        if sink.heavy:
+            sink.event_count += 1
+            if sink.log_events:
+                sink._event_log.append((sid, outcome))
         return outcome
 
     def __compi_func__(fid: int) -> None:
-        sink = current_sink()
-        if sink is not None:
+        sink = getattr(tls, "sink", None)
+        if sink is None:
+            return
+        fhits = sink.func_hits
+        if fhits is None:
             sink.on_function(fid)
+        else:
+            fhits[fid] = 1
 
     def __compi_iter__(sid: int, iterable: Any):
         """Probe generator for ``for`` loops: one True branch per item,
         one False branch at exhaustion (the CIL for→while lowering)."""
-        sink = current_sink()
+        sink = getattr(tls, "sink", None)
         if sink is None:
             yield from iterable
             return
+        hits = sink.branch_hits
+        if hits is None:
+            for item in iterable:
+                sink.on_branch(sid, True, None)
+                yield item
+            sink.on_branch(sid, False, None)
+            return
+        # batched fast path: loop iterations are always concrete (the
+        # iterable is a real container; symbolic bounds go through
+        # ``while`` probes), so record straight into the array
+        heavy = sink.heavy
+        true_idx = sid + sid + 1
         for item in iterable:
-            sink.on_branch(sid, True, None)
+            hits[true_idx] = 1
+            calls = sink._probe_calls + 1
+            sink._probe_calls = calls
+            if not calls % 256:
+                stop = sink._stop
+                if stop is not None and stop.is_set():
+                    raise MpiShutdown(
+                        f"rank {sink.global_rank} cancelled in probe")
+            if heavy:
+                sink.event_count += 1
+                if sink.log_events:
+                    sink._event_log.append((sid, True))
             yield item
-        sink.on_branch(sid, False, None)
+        hits[true_idx - 1] = 1
+        calls = sink._probe_calls + 1
+        sink._probe_calls = calls
+        if not calls % 256:
+            stop = sink._stop
+            if stop is not None and stop.is_set():
+                raise MpiShutdown(
+                    f"rank {sink.global_rank} cancelled in probe")
+        if heavy:
+            sink.event_count += 1
+            if sink.log_events:
+                sink._event_log.append((sid, False))
 
     return {BRANCH_PROBE: __compi_branch__, FUNC_PROBE: __compi_func__,
             ITER_PROBE: __compi_iter__}
@@ -125,6 +208,17 @@ def instrument_program(module_names: list[str], entry_module: Optional[str] = No
     ``package_root`` is the absolute package against which the modules'
     relative imports resolve (e.g. ``"repro.targets.hpl"``); it defaults to
     the parent package of the first module.
+
+    Determinism contract: instrumentation is a pure function of the
+    module *sources* — site IDs are assigned in AST visitation order, so
+    two loads of the same modules (in this process, in a spawn worker's
+    initializer, or across campaign resumes) produce identical site
+    registries.  The engine's parallel executor depends on this: worker
+    processes re-instrument by module name and must agree with the
+    parent on every site ID.  The probes installed here are likewise
+    trajectory-neutral — batched and per-call probe modes record
+    identical traces and coverage (see :func:`make_probes` and
+    docs/PERFORMANCE.md); only the clock changes.
     """
     if not module_names:
         raise ValueError("no modules to instrument")

@@ -35,6 +35,15 @@ from .waitgraph import DeadlockInfo, WaitForGraph, detect_deadlock
 _MONITOR_POLL = 0.02
 
 
+def _monitor_wait(all_done: threading.Event, period: float) -> None:
+    """One monitor pause: wake early when the job completes.
+
+    Split out so benchmarks/test_engine_hotpath.py can substitute the
+    historical ``time.sleep(period)`` poll and measure what completion
+    quantization used to cost (see docs/PERFORMANCE.md)."""
+    all_done.wait(period)
+
+
 class Job:
     """Shared state of one running MPI job."""
 
@@ -169,6 +178,14 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
               match_policy=match_policy)
     outcomes = [RankOutcome(global_rank=r) for r in range(size)]
 
+    # completion signal: the monitor must wake the moment the last rank
+    # returns, not at the next poll tick — with sub-millisecond target
+    # executions, sleeping a fixed poll period quantizes every iteration
+    # up to the period and dominates campaign wall time (the
+    # docs/PERFORMANCE.md cost model).  The poll period only paces the
+    # deadlock/watchdog checks.
+    all_done = threading.Event()
+
     def runner(rank: int) -> None:
         sink = sinks[rank] if sinks is not None else None
         ctx = MpiContext(job, rank, sink=sink)
@@ -189,6 +206,11 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
             out.elapsed = time.monotonic() - t0
             job.note_rank_finished(rank)
             out.finished = True
+            # the thread that writes the final flag reads all others True
+            # (attribute writes are ordered), so exactly the last
+            # finisher fires the signal
+            if all(o.finished for o in outcomes):
+                all_done.set()
 
     threads = [threading.Thread(target=runner, args=(r,), daemon=True,
                                 name=f"mpi-rank-{r}")
@@ -211,7 +233,7 @@ def run_job(entries: list[Callable[[MpiContext], Optional[int]]],
             if info is not None:
                 job.deadlock = info
                 break
-        time.sleep(_MONITOR_POLL)
+        _monitor_wait(all_done, _MONITOR_POLL)
 
     if timed_out or job.deadlock is not None:
         job.request_stop()

@@ -224,7 +224,7 @@ class PortfolioScheduler:
 
     def speculate(self, tc, trace: Optional[TraceResult],
                   serial: Candidate, width: int, coverage: CoverageMap,
-                  iteration: int) -> list[Candidate]:
+                  iteration: int, avoid=None) -> list[Candidate]:
         """Speculative siblings — only while the arm did not switch.
 
         If the bandit just handed the budget to a different arm, the
@@ -235,7 +235,7 @@ class PortfolioScheduler:
         if self.active != self._committed:
             return []
         out = self._active_arm.scheduler.speculate(
-            tc, trace, serial, width, coverage, iteration)
+            tc, trace, serial, width, coverage, iteration, avoid=avoid)
         for cand in out:
             cand.arm = self._active_arm.name
         return out

@@ -43,13 +43,16 @@ def dependent_slice(constraints: list[Constraint],
     """
     vars_closed = set(seed_vars)
     picked = [False] * len(constraints)
+    # hoist the per-constraint variable sets out of the fixpoint loop:
+    # each pass used to recompute frozensets for every unpicked
+    # constraint, which dominated slicing time on long prefixes
+    cvars = [c.vars() for c in constraints]
     changed = True
     while changed:
         changed = False
-        for i, c in enumerate(constraints):
+        for i, cv in enumerate(cvars):
             if picked[i]:
                 continue
-            cv = c.vars()
             if cv and not cv.isdisjoint(vars_closed):
                 picked[i] = True
                 new = cv - vars_closed
@@ -174,6 +177,59 @@ def solve_incremental(constraints: list[Constraint], negated: Constraint,
     return _result(model, cached=False)
 
 
+def _identity(constraints: list[Constraint]) -> list[Constraint]:
+    """Pass-through simplifier for pre-simplified contexts.
+
+    :meth:`SolveSession.solve_at` hands :func:`solve_incremental` a
+    context that is already ``simplify(stem + prefix)`` (maintained by
+    the stem frame's ladder); because :func:`simplify` is idempotent,
+    skipping the redundant pass yields the exact same constraint list —
+    hence identical slices and identical cache keys."""
+    return constraints
+
+
+class _StemFrame:
+    """One pushed invariant stem plus its simplified path-prefix ladder.
+
+    ``raw`` is the stem as the scheduler built it (MPI semantic
+    constraints + discovered caps — everything invariant across the
+    negations of one trace).  ``ladder[k]`` caches
+    ``simplify(raw + path[:k])`` for the longest path the frame has
+    seen; consecutive negations of one trace differ only in prefix
+    length, so each extends the ladder by at most a few constraints
+    instead of re-simplifying the whole context (the
+    :class:`~repro.solver.simplify.SimplifyMemo` compositionality
+    property, applied per prefix level).
+
+    Ladder entries are pure functions of ``(raw, path[:k])``: mutation
+    is cache warming, never semantics, which is why forked sessions may
+    share frames with the committed stream.
+    """
+
+    __slots__ = ("raw", "_path", "_ladder")
+
+    def __init__(self, stem: list[Constraint]):
+        self.raw: tuple[Constraint, ...] = tuple(stem)
+        self._path: list[Constraint] = []
+        self._ladder: list[list[Constraint]] = [simplify(list(stem))]
+
+    def context_at(self, prefix: list[Constraint]) -> list[Constraint]:
+        """``simplify(stem + prefix)``, reusing the longest shared
+        prefix with the previous call (bit-for-bit equal to a fresh
+        :func:`simplify` of the concatenation)."""
+        path, ladder = self._path, self._ladder
+        common = 0
+        limit = min(len(prefix), len(path))
+        while common < limit and prefix[common] == path[common]:
+            common += 1
+        del path[common:]
+        del ladder[common + 1:]
+        for c in prefix[common:]:
+            ladder.append(simplify(ladder[-1] + [c]))
+            path.append(c)
+        return list(ladder[len(prefix)])
+
+
 class SolveSession:
     """A sequence of incremental solves over one (stateful) solver.
 
@@ -187,6 +243,20 @@ class SolveSession:
     speculation.  A forked session is reused across the whole batch
     (one snapshot per batch, not per candidate), which is what makes
     k-wide speculation cheap enough to schedule every step.
+
+    **Persistent incremental solving** (``CompiConfig.persistent_solver``):
+    instead of re-simplifying ``stem + prefix`` from scratch on every
+    :meth:`solve`, the scheduler pushes the trace's invariant stem once
+    (:meth:`stem` / :meth:`push_stem`) and solves each negation through
+    :meth:`solve_at`, which extends the frame's prefix ladder
+    incrementally.  Determinism contract: for any call sequence,
+    ``solve_at(frame, prefix, negated, ...)`` produces bit-for-bit the
+    results of ``solve(list(frame.raw) + prefix, negated, ...)`` —
+    same sliced query, same cache keys, same solver node walk — because
+    ladder entries equal a fresh ``simplify`` of the concatenation and
+    :func:`simplify` is idempotent.  The frames themselves are pure
+    caches: they are not checkpointed, and a resumed session rebuilds
+    them on first use.
     """
 
     def __init__(self, solver: Optional[Solver] = None, cache=None,
@@ -196,6 +266,7 @@ class SolveSession:
         self.stats = stats if stats is not None else SolverStats()
         self.solves = 0
         self._memo = SimplifyMemo()
+        self._stems: list[_StemFrame] = []
 
     def solve(self, constraints: list[Constraint], negated: Constraint,
               domains: Box,
@@ -206,11 +277,58 @@ class SolveSession:
                                  simplifier=self._memo, cache=self.cache,
                                  stats=self.stats)
 
+    # -- persistent stems ------------------------------------------------
+    def push_stem(self, stem: list[Constraint]) -> _StemFrame:
+        """Push an invariant stem; subsequent :meth:`solve_at` calls
+        against the returned frame solve ``stem + prefix ∧ negated``."""
+        frame = _StemFrame(stem)
+        self._stems.append(frame)
+        return frame
+
+    def pop_stem(self) -> None:
+        """Drop the top stem frame (a pure cache — no solver state to
+        undo)."""
+        self._stems.pop()
+
+    def stem(self, stem: list[Constraint]) -> _StemFrame:
+        """The session's frame for ``stem``, replacing the top frame.
+
+        The scheduler calls this once per trace: when the stem is
+        unchanged from the previous trace (the common case — MPI
+        semantics and caps rarely move) the existing frame and its warm
+        ladder are reused; otherwise the top frame is swapped out.
+        """
+        if self._stems:
+            top = self._stems[-1]
+            if top.raw == tuple(stem):
+                return top
+            frame = _StemFrame(stem)
+            self._stems[-1] = frame
+            return frame
+        return self.push_stem(stem)
+
+    def solve_at(self, frame: _StemFrame, prefix: list[Constraint],
+                 negated: Constraint, domains: Box,
+                 previous: dict[int, int]) -> Optional[IncrementalResult]:
+        """Solve ``frame.raw + prefix ∧ negated`` via the prefix ladder.
+
+        Bit-for-bit equivalent to :meth:`solve` on the concatenated
+        context (see the class docstring for why)."""
+        self.solves += 1
+        return solve_incremental(frame.context_at(prefix), negated, domains,
+                                 previous=previous, solver=self.solver,
+                                 simplifier=_identity, cache=self.cache,
+                                 stats=self.stats)
+
     def fork(self) -> "SolveSession":
         """An independent session whose solver state is a snapshot of
         this one — speculation runs here.  The fork reads the shared
         cache but buffers its writes, and keeps throwaway telemetry:
-        only the committed stream feeds the campaign report."""
+        only the committed stream feeds the campaign report.  Stem
+        frames are shared with the parent (ladder entries are pure
+        functions of stem + prefix, so cross-warming is sound)."""
         fork_cache = self.cache.fork() if self.cache is not None else None
-        return SolveSession(copy.deepcopy(self.solver), cache=fork_cache,
-                            stats=SolverStats())
+        forked = SolveSession(copy.deepcopy(self.solver), cache=fork_cache,
+                              stats=SolverStats())
+        forked._stems = list(self._stems)
+        return forked
