@@ -1,6 +1,6 @@
 """Fleet throughput benchmark (not a paper artifact).
 
-Runs one small sweep three ways and records the fleet's overheads in
+Runs one small sweep four ways and records the fleet's overheads in
 ``benchmarks/out/BENCH_fleet.json``:
 
 * **serial baseline** — the same shard campaigns executed inline, one
@@ -8,30 +8,47 @@ Runs one small sweep three ways and records the fleet's overheads in
 * **fleet sweep** — the same shards through ``fleet run`` with 2
   concurrent supervised workers (per-attempt process spawn, manifest
   fsyncs, result publication);
+* **warm-pool sweep** — the same shards with ``--warm-pool 2``:
+  persistent ``workerd`` daemons reused across shards instead of one
+  process spawn per attempt;
 * **faulty fleet sweep** — the sweep plus a poison shard (the killer
   target) that hard-kills its worker on every attempt, measuring what
   retries + quarantine cost the healthy siblings.
 
+Plus a direct per-attempt measurement: the cold startup a disposable
+worker pays before any work (spawn → hello on a fresh daemon, i.e.
+interpreter + imports + spec load) versus a warm daemon's dispatch
+overhead (run → done roundtrip minus the same shard executed inline).
+
 Reported: shards/minute for each mode, scheduler overhead versus the
-serial baseline, and the retry/quarantine counts of the faulty sweep.
+serial baseline, the startup-overhead reduction of warm dispatch, and
+the retry/quarantine counts of the faulty sweep.
 
 Asserted contracts:
 
 * the fleet completes every healthy shard and its merged report sees
   exactly the shard campaigns the serial baseline ran (same iteration
   totals — the campaigns are deterministic);
+* the warm-pool sweep's merged report is byte-identical to the cold
+  fleet sweep's;
+* warm dispatch overhead is measurably below cold startup;
 * the poison shard is quarantined after its retry budget while every
   healthy sibling still completes.
 """
 
 import json
+import os
+import subprocess
+import sys
 import time
 
 from conftest import OUT_DIR, scaled
 
 from repro.core import format_table
 from repro.fleet import FleetSpec, fleet_paths, load_state, merge_results
-from repro.fleet.manifest import DONE, QUARANTINED
+from repro.fleet.manifest import DONE, QUARANTINED, FleetManifest
+from repro.fleet.pool import read_frame, write_frame
+from repro.fleet.results import report_text
 from repro.fleet.service import fleet_run
 from repro.fleet.worker import execute_shard
 
@@ -66,14 +83,69 @@ def _serial_baseline(tmp_path):
     return time.monotonic() - t0, len(spec.expand()), total_iters
 
 
-def _fleet_sweep(tmp_path, spec_dict, name):
+def _fleet_sweep(tmp_path, spec_dict, name, **run_kw):
     spec_path = _write_spec(tmp_path, spec_dict, f"{name}.json")
     root = tmp_path / name
     t0 = time.monotonic()
-    fleet_run(spec_path, root, echo=lambda _msg: None)
+    fleet_run(spec_path, root, echo=lambda _msg: None, **run_kw)
     wall = time.monotonic() - t0
     state = load_state(root)
     return wall, state, merge_results(root, state)
+
+
+def _pool_dispatch_overheads(tmp_path):
+    """Measure the per-attempt costs the warm pool trades against.
+
+    * ``cold_startup_s`` — spawn → hello on a fresh ``workerd``: the
+      interpreter + import + spec-load bill every disposable worker
+      pays before its shard starts;
+    * ``warm_dispatch_overhead_s`` — a warm daemon's run → done
+      roundtrip for a 1-iteration shard, minus the same shard executed
+      inline (so only the protocol + scheduling slack remains).
+    """
+    spec = FleetSpec.from_dict({
+        "fleet": "bench-pool", "matrix": {"target": ["seq_demo"]},
+        "shard": {"iterations": 1},
+        "failure": {"max_failures": 2}, "workers": 1})
+    (shard,) = spec.expand()
+
+    inline_root = tmp_path / "pool-inline"
+    fleet_paths(inline_root).ensure()
+    execute_shard(inline_root, shard)       # warm this process's caches
+    t0 = time.monotonic()
+    execute_shard(inline_root, shard)
+    inline_wall = time.monotonic() - t0
+
+    warm_root = tmp_path / "pool-warm"
+    paths = fleet_paths(warm_root)
+    FleetManifest.create(paths, spec).close()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    t0 = time.monotonic()
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "fleet", "workerd",
+         "--dir", str(warm_root), "--worker", "0"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL, env=env)
+    try:
+        hello = read_frame(proc.stdout)
+        cold_startup = time.monotonic() - t0
+        assert hello["type"] == "hello"
+        # first shard warms the daemon's own caches; time the second
+        for _ in range(2):
+            t0 = time.monotonic()
+            write_frame(proc.stdin, {"type": "run",
+                                     "shard": shard.shard_id})
+            resp = read_frame(proc.stdout)
+            roundtrip = time.monotonic() - t0
+            assert resp["status"] == "ok"
+        write_frame(proc.stdin, {"type": "exit"})
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+    return cold_startup, max(roundtrip - inline_wall, 0.0)
 
 
 def test_fleet_throughput(once, tmp_path):
@@ -85,6 +157,18 @@ def test_fleet_throughput(once, tmp_path):
         assert counts[DONE] == n_shards, counts
         # deterministic campaigns: fleet == serial, shard for shard
         assert report.total_iterations == serial_iters
+
+        warm_wall, w_state, w_report = _fleet_sweep(tmp_path, SPEC,
+                                                    "warm", warm_pool=2)
+        assert w_state.counts()[DONE] == n_shards
+        # the warm-pool determinism bar: byte-identical to cold spawn
+        assert report_text(w_report) == report_text(report)
+        assert w_state.pool.spawns >= 1
+
+        cold_startup, warm_overhead = _pool_dispatch_overheads(tmp_path)
+        # the whole point of the pool: dispatching onto a warm daemon
+        # must cost less than standing up a cold process
+        assert warm_overhead < cold_startup
 
         faulty = dict(SPEC, fleet="bench-faulty")
         faulty["matrix"] = dict(SPEC["matrix"],
@@ -112,6 +196,18 @@ def test_fleet_throughput(once, tmp_path):
                 "shards_per_min": round(60 * n_shards / fleet_wall, 2),
                 "overhead_vs_serial": round(fleet_wall / serial_wall, 2),
             },
+            "warm_pool": {
+                "warm_workers": 2,
+                "wall_s": round(warm_wall, 3),
+                "shards_per_min": round(60 * n_shards / warm_wall, 2),
+                "overhead_vs_serial": round(warm_wall / serial_wall, 2),
+                "daemons_spawned": w_state.pool.spawns,
+                "report_byte_identical_to_cold": True,
+                "cold_startup_s": round(cold_startup, 3),
+                "warm_dispatch_overhead_s": round(warm_overhead, 4),
+                "startup_overhead_reduction": round(
+                    cold_startup / max(warm_overhead, 1e-4), 1),
+            },
             "faulty_fleet": {
                 "shards": len(f_state.shard_ids()),
                 "wall_s": round(faulty_wall, 3),
@@ -133,6 +229,10 @@ def test_fleet_throughput(once, tmp_path):
         ["fleet", data["fleet"]["workers"], data["fleet"]["wall_s"],
          data["fleet"]["shards_per_min"],
          f'{data["fleet"]["overhead_vs_serial"]}x', "-"],
+        ["fleet --warm-pool 2", data["warm_pool"]["warm_workers"],
+         data["warm_pool"]["wall_s"],
+         data["warm_pool"]["shards_per_min"],
+         f'{data["warm_pool"]["overhead_vs_serial"]}x', "-"],
         ["fleet + poison shard", data["fleet"]["workers"],
          data["faulty_fleet"]["wall_s"], "-",
          f'{data["faulty_fleet"]["retries"]} retries',
@@ -142,4 +242,8 @@ def test_fleet_throughput(once, tmp_path):
         ["mode", "workers", "wall s", "shards/min", "overhead", "poison"],
         rows, title=f"fleet throughput ({data['shards']} shards x "
                     f"{ITERS} iterations)")
-    print(f"\n{table}\n")
+    pool = data["warm_pool"]
+    print(f"\n{table}\n"
+          f"per-attempt: cold startup {pool['cold_startup_s']}s vs warm "
+          f"dispatch overhead {pool['warm_dispatch_overhead_s']}s "
+          f"({pool['startup_overhead_reduction']}x reduction)\n")

@@ -16,6 +16,11 @@ the sweep level:
 * :mod:`repro.fleet.worker` — the shard worker: one campaign in one
   disposable child process, rlimit-capped and heartbeat-instrumented,
   so a hard-dying shard can never take the sweep down with it;
+* :mod:`repro.fleet.pool` — the warm pool: long-lived worker daemons
+  reused across shards over a length-prefixed JSON pipe protocol, with
+  per-shard leases, recycling (task budget / RSS growth), graceful
+  drain on SIGTERM, and a circuit breaker that degrades the sweep back
+  to disposable cold spawns when the pool itself misbehaves;
 * :mod:`repro.fleet.scheduler` — the async fleet scheduler: dispatches
   shards across a bounded pool of supervised worker processes with
   per-shard failure policy — bounded retries with exponential backoff
@@ -29,16 +34,18 @@ the sweep level:
   (``repro fleet run|resume|status|report``).
 """
 
-from .manifest import (FleetManifest, FleetState, ShardState, fleet_paths,
-                       load_state)
+from .manifest import (FleetManifest, FleetState, PoolState, ShardState,
+                       fleet_paths, load_state)
+from .pool import WarmPool
 from .results import FleetReport, ShardReport, merge_results, report_text
 from .scheduler import FleetScheduler
-from .spec import (FailurePolicy, FleetSpec, FleetSpecError, ShardSpec,
-                   STRATEGIES, load_spec)
+from .spec import (FailurePolicy, FleetSpec, FleetSpecError, PoolPolicy,
+                   ShardSpec, STRATEGIES, load_spec)
 
 __all__ = [
     "FailurePolicy", "FleetManifest", "FleetReport", "FleetScheduler",
-    "FleetSpec", "FleetSpecError", "FleetState", "STRATEGIES",
-    "ShardReport", "ShardSpec", "ShardState", "fleet_paths", "load_spec",
-    "load_state", "merge_results", "report_text",
+    "FleetSpec", "FleetSpecError", "FleetState", "PoolPolicy", "PoolState",
+    "STRATEGIES", "ShardReport", "ShardSpec", "ShardState", "WarmPool",
+    "fleet_paths", "load_spec", "load_state", "merge_results",
+    "report_text",
 ]

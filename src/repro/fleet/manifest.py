@@ -6,11 +6,17 @@ per-record fsync — the same discipline as the PR-1 campaign log, at the
 fleet level.  Record types, discriminated by ``"type"``:
 
 * ``fleet-meta``        — spec snapshot + expanded shard IDs (first line)
-* ``shard-start``       — one attempt dispatched (shard, attempt, pid)
+* ``shard-start``       — one attempt dispatched (shard, attempt, pid;
+  plus ``pool_worker`` when the attempt ran on a warm worker)
 * ``shard-done``        — attempt completed; deterministic summary
 * ``shard-fail``        — attempt failed: ``shard-crash`` /
   ``shard-timeout`` / ``shard-oom`` / ``shard-error``
 * ``shard-quarantine``  — retry budget exhausted; the shard is poisoned
+* ``pool-spawn``        — one warm worker daemon came up (worker, pid)
+* ``pool-exit``         — a warm worker left the pool: ``recycle`` /
+  ``drain`` / ``crash`` / ``kill`` / ``spawn-failed``
+* ``pool-breaker``      — the pool circuit breaker opened; every later
+  attempt of this sweep cold-spawns
 
 Crash semantics: a sweep killed at any instruction leaves a readable
 manifest — the reader tolerates a torn final line, and every record is
@@ -48,6 +54,15 @@ PENDING = "pending"
 DONE = "done"
 QUARANTINED = "quarantined"
 
+#: reasons a warm worker leaves the pool (``pool-exit`` records)
+POOL_RECYCLE = "recycle"
+POOL_DRAIN = "drain"
+POOL_CRASH = "crash"
+POOL_KILL = "kill"
+POOL_SPAWN_FAILED = "spawn-failed"
+POOL_EXIT_REASONS = (POOL_RECYCLE, POOL_DRAIN, POOL_CRASH, POOL_KILL,
+                     POOL_SPAWN_FAILED)
+
 
 @dataclass
 class FleetPaths:
@@ -76,10 +91,18 @@ class FleetPaths:
     def shard_output(self, shard_id: str) -> Path:
         return self.shards / f"{shard_id}.output"
 
+    @property
+    def pool(self) -> Path:
+        return self.root / "pool"
+
+    def pool_output(self, worker_id: int) -> Path:
+        return self.pool / f"workerd-{worker_id}.output"
+
     def ensure(self) -> "FleetPaths":
         self.root.mkdir(parents=True, exist_ok=True)
         self.shards.mkdir(exist_ok=True)
         self.heartbeats.mkdir(exist_ok=True)
+        self.pool.mkdir(exist_ok=True)
         return self
 
 
@@ -124,9 +147,13 @@ class FleetManifest:
     def _write(self, obj: dict) -> None:
         self._appender.write(obj)
 
-    def shard_start(self, shard_id: str, attempt: int, pid: int) -> None:
-        self._write({"type": "shard-start", "shard": shard_id,
-                     "attempt": attempt, "pid": pid, "ts": time.time()})
+    def shard_start(self, shard_id: str, attempt: int, pid: int,
+                    pool_worker: Optional[int] = None) -> None:
+        rec = {"type": "shard-start", "shard": shard_id,
+               "attempt": attempt, "pid": pid, "ts": time.time()}
+        if pool_worker is not None:
+            rec["pool_worker"] = pool_worker
+        self._write(rec)
 
     def shard_done(self, shard_id: str, attempt: int, summary: dict) -> None:
         self._write({"type": "shard-done", "shard": shard_id,
@@ -145,6 +172,21 @@ class FleetManifest:
         self._write({"type": "shard-quarantine", "shard": shard_id,
                      "failures": failures, "kind": kind, "detail": detail,
                      "ts": time.time()})
+
+    # -- warm-pool lifecycle (see repro.fleet.pool) --------------------
+
+    def pool_spawn(self, worker: int, pid: int) -> None:
+        self._write({"type": "pool-spawn", "worker": worker, "pid": pid,
+                     "ts": time.time()})
+
+    def pool_exit(self, worker: int, pid: int, reason: str) -> None:
+        assert reason in POOL_EXIT_REASONS, reason
+        self._write({"type": "pool-exit", "worker": worker, "pid": pid,
+                     "reason": reason, "ts": time.time()})
+
+    def pool_breaker(self, failures: int, detail: str) -> None:
+        self._write({"type": "pool-breaker", "failures": failures,
+                     "detail": detail, "ts": time.time()})
 
     def close(self) -> None:
         self._appender.close()
@@ -183,11 +225,37 @@ class ShardState:
 
 
 @dataclass
+class PoolState:
+    """Everything the manifest knows about the sweep's warm pool."""
+
+    #: workers ever spawned (pool-spawn records)
+    spawns: int = 0
+    #: pool-exit reason → count
+    exits: dict = field(default_factory=dict)
+    #: worker id → pid of workers with a spawn but no exit record —
+    #: alive in a running sweep, orphans of a dead one
+    live: dict = field(default_factory=dict)
+    #: shard ids currently leased to a warm worker (open shard-starts
+    #: carrying a ``pool_worker`` field)
+    leased: list = field(default_factory=list)
+    breaker_open: bool = False
+
+    @property
+    def recycled(self) -> int:
+        return self.exits.get("recycle", 0)
+
+    @property
+    def alive(self) -> int:
+        return len(self.live)
+
+
+@dataclass
 class FleetState:
     """The sweep reconstructed from its manifest (resume's world view)."""
 
     spec: FleetSpec
     shards: dict[str, ShardState]
+    pool: PoolState = field(default_factory=PoolState)
 
     def shard_ids(self) -> list[str]:
         return [sh.shard_id for sh in self.spec.expand()]
@@ -204,8 +272,13 @@ class FleetState:
         return out
 
     def orphan_pids(self) -> list[int]:
-        return [pid for sid in self.shard_ids()
+        """Pids a dead fleet may have left running: in-flight attempt
+        workers plus live warm-pool daemons (deduplicated — a leased
+        warm worker appears in both ledgers)."""
+        pids = [pid for sid in self.shard_ids()
                 for pid in self.shards[sid].inflight_pids]
+        pids += list(self.pool.live.values())
+        return list(dict.fromkeys(pids))
 
 
 def load_state(root: Union[str, Path]) -> FleetState:
@@ -216,6 +289,8 @@ def load_state(root: Union[str, Path]) -> FleetState:
     spec: Optional[FleetSpec] = None
     shards: dict[str, ShardState] = {}
     open_starts: dict[str, list[int]] = {}
+    open_leases: dict[str, int] = {}
+    pool = PoolState()
     for obj in read_jsonl(paths.manifest):
         kind = obj.get("type")
         if kind == "fleet-meta":
@@ -226,6 +301,19 @@ def load_state(root: Union[str, Path]) -> FleetState:
             st = shards.setdefault(obj["shard"],
                                    ShardState(shard_id=obj["shard"]))
             open_starts.setdefault(obj["shard"], []).append(obj.get("pid", 0))
+            if obj.get("pool_worker") is not None:
+                open_leases[obj["shard"]] = obj["pool_worker"]
+            else:
+                open_leases.pop(obj["shard"], None)
+        elif kind == "pool-spawn":
+            pool.spawns += 1
+            pool.live[obj["worker"]] = obj.get("pid", 0)
+        elif kind == "pool-exit":
+            reason = obj.get("reason", "?")
+            pool.exits[reason] = pool.exits.get(reason, 0) + 1
+            pool.live.pop(obj["worker"], None)
+        elif kind == "pool-breaker":
+            pool.breaker_open = True
         elif kind == "shard-done":
             st = shards.setdefault(obj["shard"],
                                    ShardState(shard_id=obj["shard"]))
@@ -233,6 +321,7 @@ def load_state(root: Union[str, Path]) -> FleetState:
             st.completions += 1
             st.summary = obj.get("summary")
             open_starts.pop(obj["shard"], None)
+            open_leases.pop(obj["shard"], None)
         elif kind == "shard-fail":
             st = shards.setdefault(obj["shard"],
                                    ShardState(shard_id=obj["shard"]))
@@ -240,6 +329,7 @@ def load_state(root: Union[str, Path]) -> FleetState:
             st.last_kind = obj.get("kind", "")
             st.last_detail = obj.get("detail", "")
             open_starts.pop(obj["shard"], None)
+            open_leases.pop(obj["shard"], None)
         elif kind == "shard-quarantine":
             st = shards.setdefault(obj["shard"],
                                    ShardState(shard_id=obj["shard"]))
@@ -247,7 +337,9 @@ def load_state(root: Union[str, Path]) -> FleetState:
             st.last_kind = obj.get("kind", st.last_kind)
             st.last_detail = obj.get("detail", st.last_detail)
             open_starts.pop(obj["shard"], None)
+            open_leases.pop(obj["shard"], None)
         # unknown types: forward compatibility — skip
+    pool.leased = sorted(open_leases)
     if spec is None:
         raise ValueError(f"{paths.manifest}: no fleet-meta record "
                          f"(not a fleet manifest, or its first write was "
@@ -255,7 +347,7 @@ def load_state(root: Union[str, Path]) -> FleetState:
     for sid, pids in open_starts.items():
         if shards[sid].status == PENDING:
             shards[sid].inflight_pids = [p for p in pids if p > 0]
-    return FleetState(spec=spec, shards=shards)
+    return FleetState(spec=spec, shards=shards, pool=pool)
 
 
 def kill_orphans(state: FleetState) -> int:

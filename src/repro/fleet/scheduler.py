@@ -2,9 +2,11 @@
 backoff, and quarantine.
 
 One :class:`FleetScheduler` drives one sweep session (fresh or resumed).
-Shards run as disposable worker processes (``repro fleet worker``), at
-most ``spec.workers`` concurrently; the scheduler is a single-threaded
-asyncio loop that supervises them:
+Shards run as disposable worker processes (``repro fleet worker``) — or,
+with a warm pool configured (``--warm-pool`` / spec ``pool.warm``), as
+**leases** on persistent ``repro fleet workerd`` daemons (see
+:mod:`repro.fleet.pool`) — at most ``spec.workers`` concurrently; the
+scheduler is a single-threaded asyncio loop that supervises them:
 
 * a worker that exits nonzero, dies to a signal, overruns the shard
   timeout, or wedges (heartbeat staleness via the supervision era's
@@ -31,6 +33,7 @@ record reached disk.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import os
 import random
 import signal
@@ -38,9 +41,10 @@ import sys
 from typing import Optional
 
 from ..supervise import HeartbeatMonitor
-from .manifest import (DONE, FleetManifest, FleetState, QUARANTINED,
-                       SHARD_CRASH, SHARD_ERROR, SHARD_OOM, SHARD_TIMEOUT,
-                       fleet_paths)
+from .manifest import (DONE, FleetManifest, FleetState, POOL_CRASH,
+                       POOL_KILL, QUARANTINED, SHARD_CRASH, SHARD_ERROR,
+                       SHARD_OOM, SHARD_TIMEOUT, fleet_paths)
+from .pool import ProtocolError, WarmPool, read_frame_async, send_request
 from .spec import ShardSpec
 from .worker import EXIT_INTERNAL, EXIT_OOM
 
@@ -55,6 +59,9 @@ class FleetScheduler:
     def __init__(self, root, state: FleetState, manifest: FleetManifest,
                  workers: Optional[int] = None,
                  stop_after_shards: Optional[int] = None,
+                 warm_pool: Optional[int] = None,
+                 pool_recycle_tasks: Optional[int] = None,
+                 pool_max_rss: Optional[int] = None,
                  echo=None):
         self.paths = fleet_paths(root)
         self.state = state
@@ -72,6 +79,19 @@ class FleetScheduler:
         self._stop = False
         self._terminal = 0
         self._procs: dict[str, asyncio.subprocess.Process] = {}
+        # CLI flags override the spec's pool policy field by field
+        pp = state.spec.pool
+        if warm_pool is not None:
+            pp = dataclasses.replace(pp, warm=warm_pool)
+        if pool_recycle_tasks is not None:
+            pp = dataclasses.replace(pp, recycle_tasks=pool_recycle_tasks)
+        if pool_max_rss is not None:
+            pp = dataclasses.replace(pp, max_rss_mb=pool_max_rss)
+        self.pool_policy = pp
+        self._pool: Optional[WarmPool] = None
+        if pp.warm > 0:
+            self._pool = WarmPool(self.paths, pp, manifest,
+                                  env=self._worker_env(), echo=self.echo)
 
     # ------------------------------------------------------------------
     def run(self) -> dict:
@@ -89,6 +109,8 @@ class FleetScheduler:
             results = await asyncio.gather(*tasks, return_exceptions=True)
         finally:
             await self._kill_outstanding()
+            if self._pool is not None:
+                await self._pool.close()
         for shard, res in zip(todo, results):
             if isinstance(res, BaseException):
                 # the per-task firewall failed — record the failure so
@@ -175,13 +197,150 @@ class FleetScheduler:
         return env
 
     async def _attempt(self, shard: ShardSpec):
-        """Run one worker process; classify its death.
+        """Run one attempt, warm when a pool worker is available.
 
         Returns ``("ok", result_payload)``, ``(fail_kind, detail)``, or
         ``None`` when the sweep-level stop fired while this attempt was
         in flight (the attempt is abandoned without a manifest verdict —
         exactly what a killed fleet process leaves behind).
+
+        The warm path degrades per attempt: no idle worker, a failed
+        spawn, or an open circuit breaker all fall through to the cold
+        path, so a sweep never stalls on pool trouble.
         """
+        if self._pool is not None and self._pool.available():
+            worker = await self._pool.try_acquire()
+            if worker is not None:
+                return await self._attempt_warm(shard, worker)
+        return await self._attempt_cold(shard)
+
+    # -- warm path (leases on pool workers) ----------------------------
+
+    async def _attempt_warm(self, shard: ShardSpec, worker):
+        """Run one shard on a leased warm worker; supervise the lease."""
+        sid = shard.shard_id
+        st = self.state.shards[sid]
+        self._monitor.clear(sid)
+        try:
+            self.paths.shard_result(sid).unlink()
+        except OSError:
+            pass
+        self.manifest.shard_start(sid, st.attempts + 1, worker.pid,
+                                  pool_worker=worker.wid)
+        self.echo(f"  start       {sid} (attempt {st.attempts + 1}, "
+                  f"warm worker {worker.wid}, pid {worker.pid})")
+        try:
+            send_request(worker, {"type": "run", "shard": sid})
+        except OSError as exc:
+            await self._pool.reap(worker, POOL_CRASH)
+            if self._stop:
+                return None
+            return (SHARD_CRASH, f"warm worker {worker.wid} pipe closed "
+                                 f"at dispatch: {exc}")
+        try:
+            outcome = await self._await_lease(sid, worker)
+        finally:
+            self._monitor.clear(sid)
+        if isinstance(outcome, dict):
+            # a completed response frame: the worker survives the shard
+            await self._pool.release(worker, outcome,
+                                     failed=outcome.get("status") != "ok")
+            if self._stop:
+                return None
+            return self._classify_response(sid, outcome)
+        if self._stop:
+            return None
+        return outcome
+
+    async def _await_lease(self, sid: str, worker):
+        """Supervise one lease: response frame, death, expiry, or stop.
+
+        Returns the response frame (dict), a ``(kind, detail)`` failure
+        (the worker is already reaped), or ``None`` when the stop fired
+        (the worker is killed — it must not outlive the scheduler).
+        """
+        loop = asyncio.get_running_loop()
+        deadline = (None if self.policy.shard_timeout is None
+                    else loop.time() + self.policy.shard_timeout)
+        while True:
+            try:
+                frame = await asyncio.wait_for(
+                    read_frame_async(worker.proc.stdout), timeout=_POLL_S)
+            except asyncio.TimeoutError:
+                if self._stop:
+                    await self._pool.reap(worker, POOL_KILL)
+                    return None
+                if deadline is not None and loop.time() > deadline:
+                    await self._pool.reap(worker, POOL_KILL)
+                    return (SHARD_TIMEOUT,
+                            f"exceeded shard timeout "
+                            f"{self.policy.shard_timeout}s (lease expired; "
+                            f"warm worker {worker.wid} killed)")
+                grace = self.policy.wedge_grace
+                if grace is not None:
+                    age = self._monitor.age_of(sid)
+                    if age is not None and age > grace:
+                        await self._pool.reap(worker, POOL_KILL)
+                        return (SHARD_TIMEOUT,
+                                f"wedged: no campaign progress for "
+                                f"{age:.1f}s (grace {grace}s; warm worker "
+                                f"{worker.wid} killed)")
+                continue
+            except ProtocolError as exc:
+                await self._pool.reap(worker, POOL_KILL)
+                self._pool.protocol_violation(
+                    f"worker {worker.wid}: {exc}")
+                return (SHARD_ERROR,
+                        f"warm worker protocol violation: {exc}")
+            if frame is None:
+                # EOF mid-lease: the worker died under the shard —
+                # kill-9, os._exit in the target, kernel OOM-kill...
+                await self._pool.reap(worker, POOL_CRASH)
+                return (SHARD_CRASH,
+                        f"warm worker {worker.wid} died mid-shard "
+                        f"({self._death_detail(worker.proc.returncode)})")
+            if frame.get("type") == "done" and frame.get("shard") == sid:
+                return frame
+            await self._pool.reap(worker, POOL_KILL)
+            self._pool.protocol_violation(
+                f"worker {worker.wid}: unexpected frame "
+                f"{frame.get('type')!r} for {frame.get('shard')!r}")
+            return (SHARD_ERROR, "warm worker answered with a frame for "
+                                 "the wrong shard")
+
+    def _classify_response(self, sid: str, response: dict):
+        """Map a warm worker's response onto the cold outcome kinds."""
+        status = response.get("status")
+        if status == "ok":
+            payload = self._read_result(sid)
+            if payload is None:
+                return (SHARD_CRASH, "warm worker reported ok without "
+                                     "publishing a result")
+            return ("ok", payload)
+        if status == "oom":
+            return (SHARD_OOM,
+                    f"worker exceeded the fleet rlimit "
+                    f"({self.policy.max_rss_mb} MB cap)")
+        detail = str(response.get("detail", "?")).strip()
+        tail = detail.splitlines()[-1][-200:] if detail else "?"
+        return (SHARD_ERROR, f"harness exception in worker: {tail}")
+
+    @staticmethod
+    def _death_detail(rc) -> str:
+        if rc is None:
+            return "pipe closed"
+        if rc < 0:
+            try:
+                name = signal.Signals(-rc).name
+            except ValueError:  # pragma: no cover - unknown signal
+                name = "?"
+            return f"signal {-rc} ({name})"
+        return f"exit code {rc}"
+
+    # -- cold path (one disposable process per attempt) ----------------
+
+    async def _attempt_cold(self, shard: ShardSpec):
+        """Run one disposable worker process; classify its death."""
         sid = shard.shard_id
         st = self.state.shards[sid]
         self._monitor.clear(sid)

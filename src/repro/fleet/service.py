@@ -53,6 +53,9 @@ def _finish(root, state: FleetState, echo: Echo) -> int:
 def fleet_run(spec_path: Union[str, Path], root: Union[str, Path],
               workers: Optional[int] = None, overwrite: bool = False,
               stop_after_shards: Optional[int] = None,
+              warm_pool: Optional[int] = None,
+              pool_recycle_tasks: Optional[int] = None,
+              pool_max_rss: Optional[int] = None,
               echo: Optional[Echo] = None) -> int:
     """Expand a fleet spec and drive the whole sweep; returns exit code."""
     echo = echo or _echo_to(sys.stdout)
@@ -74,6 +77,9 @@ def fleet_run(spec_path: Union[str, Path], root: Union[str, Path],
         scheduler = FleetScheduler(paths.root, state, manifest,
                                    workers=workers,
                                    stop_after_shards=stop_after_shards,
+                                   warm_pool=warm_pool,
+                                   pool_recycle_tasks=pool_recycle_tasks,
+                                   pool_max_rss=pool_max_rss,
                                    echo=echo)
         scheduler.run()
     return _finish(paths.root, state, echo)
@@ -81,6 +87,9 @@ def fleet_run(spec_path: Union[str, Path], root: Union[str, Path],
 
 def fleet_resume(root: Union[str, Path], workers: Optional[int] = None,
                  stop_after_shards: Optional[int] = None,
+                 warm_pool: Optional[int] = None,
+                 pool_recycle_tasks: Optional[int] = None,
+                 pool_max_rss: Optional[int] = None,
                  echo: Optional[Echo] = None) -> int:
     """Continue a killed sweep: re-run only its incomplete shards."""
     echo = echo or _echo_to(sys.stdout)
@@ -93,15 +102,39 @@ def fleet_resume(root: Union[str, Path], workers: Optional[int] = None,
     if orphans:
         echo(f"fleet: killed {orphans} orphaned worker(s) from the "
              f"previous run")
+    # the dead run's heartbeat files go with its workers: a stale
+    # heartbeat must never feed the new session's wedge detection
+    stale = clear_heartbeats(root)
+    if stale:
+        echo(f"fleet: cleared {stale} stale heartbeat file(s)")
     echo(f"fleet: resuming {state.spec.name}: "
          f"{len(state.incomplete())} incomplete shard(s) of "
          f"{len(state.shard_ids())}")
     with FleetManifest.open_append(fleet_paths(root)) as manifest:
         scheduler = FleetScheduler(root, state, manifest, workers=workers,
                                    stop_after_shards=stop_after_shards,
+                                   warm_pool=warm_pool,
+                                   pool_recycle_tasks=pool_recycle_tasks,
+                                   pool_max_rss=pool_max_rss,
                                    echo=echo)
         scheduler.run()
     return _finish(root, state, echo)
+
+
+def clear_heartbeats(root: Union[str, Path]) -> int:
+    """Delete every heartbeat file of a (dead) sweep session.
+
+    Orphan workers are killed on resume, but their last heartbeats
+    would otherwise survive on disk and could make the next session's
+    wedge detector misread a dead worker's final sign of life as a
+    fresh one.  Returns the number of files removed.
+    """
+    from ..supervise import HeartbeatMonitor
+    paths = fleet_paths(root)
+    if not paths.heartbeats.is_dir():
+        return 0
+    return HeartbeatMonitor(stale_after=1.0,
+                            dir=str(paths.heartbeats)).cleanup()
 
 
 def fleet_status(root: Union[str, Path],
@@ -143,3 +176,9 @@ def fleet_worker(root: Union[str, Path], shard_id: str) -> int:
     """The worker-process entry (dispatched by the scheduler)."""
     from .worker import run_shard
     return run_shard(root, shard_id)
+
+
+def fleet_workerd(root: Union[str, Path], worker_id: int) -> int:
+    """The warm-pool daemon entry (spawned by the scheduler's pool)."""
+    from .worker import serve_pool
+    return serve_pool(root, worker_id)

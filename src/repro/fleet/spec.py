@@ -172,6 +172,55 @@ class FailurePolicy:
 
 
 @dataclass(frozen=True)
+class PoolPolicy:
+    """Warm-pool configuration for one sweep (see :mod:`repro.fleet.pool`).
+
+    ``warm: 0`` (the default) keeps today's disposable cold-spawn path;
+    ``warm: N`` keeps up to N persistent ``workerd`` daemons serving
+    shards over pipes.  The remaining knobs are lifecycle hygiene: a
+    worker is recycled after ``recycle_tasks`` shards or when its
+    post-shard RSS self-check exceeds ``max_rss_mb``, and ``breaker``
+    pool-level failures (spawn/handshake failures, idle deaths — not
+    deaths under a shard lease) permanently degrade the sweep to cold
+    spawn.
+    """
+
+    #: persistent warm workers (0 = cold spawn per attempt)
+    warm: int = 0
+    #: shards one worker serves before being recycled
+    recycle_tasks: int = 25
+    #: post-shard RSS threshold, MB (None = no RSS-based recycling)
+    max_rss_mb: Optional[int] = None
+    #: pool failures before the circuit breaker opens
+    breaker: int = 3
+    #: seconds to wait for a spawned daemon's hello frame
+    spawn_timeout: float = 60.0
+    #: seconds a retiring worker gets to drain before SIGKILL
+    drain_grace: float = 5.0
+
+    def as_dict(self) -> dict:
+        return {"warm": self.warm, "recycle_tasks": self.recycle_tasks,
+                "max_rss_mb": self.max_rss_mb, "breaker": self.breaker,
+                "spawn_timeout": self.spawn_timeout,
+                "drain_grace": self.drain_grace}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PoolPolicy":
+        unknown = set(d) - set(cls().as_dict())
+        if unknown:
+            raise FleetSpecError(
+                f"unknown pool key(s): {', '.join(sorted(unknown))}")
+        policy = cls(**{k: d[k] for k in d})
+        if policy.warm < 0:
+            raise FleetSpecError("pool.warm must be >= 0")
+        if policy.recycle_tasks < 1:
+            raise FleetSpecError("pool.recycle_tasks must be >= 1")
+        if policy.breaker < 1:
+            raise FleetSpecError("pool.breaker must be >= 1")
+        return policy
+
+
+@dataclass(frozen=True)
 class ShardSpec:
     """One fully resolved campaign shard of a sweep (pure data)."""
 
@@ -259,6 +308,7 @@ class FleetSpec:
     time_budget: Optional[float] = None
     config_overrides: dict = field(default_factory=dict)
     failure: FailurePolicy = field(default_factory=FailurePolicy)
+    pool: PoolPolicy = field(default_factory=PoolPolicy)
     #: shards dispatched concurrently
     workers: int = 2
 
@@ -346,13 +396,14 @@ class FleetSpec:
                       "time_budget": self.time_budget,
                       "config": dict(self.config_overrides)},
             "failure": self.failure.as_dict(),
+            "pool": self.pool.as_dict(),
             "workers": self.workers,
         }
 
     @classmethod
     def from_dict(cls, d: dict) -> "FleetSpec":
         unknown = set(d) - {"fleet", "seed", "matrix", "shard", "failure",
-                            "workers"}
+                            "pool", "workers"}
         if unknown:
             raise FleetSpecError(
                 f"unknown top-level spec key(s): {', '.join(sorted(unknown))}")
@@ -384,6 +435,7 @@ class FleetSpec:
             time_budget=shard.get("time_budget"),
             config_overrides=dict(shard.get("config") or {}),
             failure=FailurePolicy.from_dict(d.get("failure") or {}),
+            pool=PoolPolicy.from_dict(d.get("pool") or {}),
             workers=int(d.get("workers", 2)),
         )
         return spec.validate()

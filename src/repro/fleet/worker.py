@@ -1,4 +1,4 @@
-"""The shard worker: one campaign shard in one disposable process.
+"""The shard workers: disposable per-attempt processes and warm daemons.
 
 The fleet scheduler launches ``python -m repro fleet worker --dir D
 --shard ID`` per attempt.  Process-per-attempt is the isolation the
@@ -7,6 +7,16 @@ a target that hard-kills its process (``os._exit``, a fatal signal, an
 OOM the kernel answers with SIGKILL) takes down *this* worker only —
 the scheduler classifies the death from the exit status and retries or
 quarantines the shard without disturbing its siblings.
+
+With a warm pool (``--warm-pool N`` / spec ``pool.warm``), the
+scheduler instead keeps ``python -m repro fleet workerd`` daemons alive
+across shards and feeds them requests over the framed pipe protocol
+(:mod:`repro.fleet.pool`).  :func:`serve_pool` is that daemon's loop;
+the isolation story is unchanged — each shard still runs
+:func:`execute_shard`, a pure function of the shard spec and the fleet
+directory, and a shard that takes the daemon down is classified from
+the broken pipe exactly as a dead cold worker is classified from its
+exit status.
 
 Contract with the scheduler:
 
@@ -27,6 +37,8 @@ Contract with the scheduler:
 
 from __future__ import annotations
 
+import os
+import signal as signal_module
 import sys
 import traceback
 from pathlib import Path
@@ -139,3 +151,126 @@ def run_shard(root: Union[str, Path], shard_id: str) -> int:
     except Exception:
         traceback.print_exc()
         return EXIT_INTERNAL
+
+
+# ----------------------------------------------------------------------
+# the warm daemon (``repro fleet workerd``)
+
+
+def _rss_kb() -> int:
+    """Current RSS in KB — the post-shard state-leak self-check.
+
+    Prefers ``/proc/self/statm`` (current resident pages); falls back to
+    ``ru_maxrss`` (peak, KB on Linux) where /proc is unavailable.
+    """
+    try:
+        with open("/proc/self/statm", "r") as fh:
+            pages = int(fh.read().split()[1])
+        return pages * os.sysconf("SC_PAGE_SIZE") // 1024
+    except (OSError, ValueError, IndexError):
+        try:
+            import resource
+            return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+        except Exception:  # pragma: no cover - exotic platform
+            return 0
+
+
+def _open_fds() -> int:
+    """Open file descriptors — leaked fds across shards are a state leak."""
+    try:
+        return len(os.listdir("/proc/self/fd"))
+    except OSError:  # pragma: no cover - no /proc
+        return -1
+
+
+def serve_pool(root: Union[str, Path], worker_id: int) -> int:
+    """The warm-worker daemon loop: serve shard requests until told not to.
+
+    Protocol (see :mod:`repro.fleet.pool` for the framing): one
+    ``hello`` handshake out, then ``run`` requests in and ``done``
+    responses out, one shard at a time.  Every response carries the
+    worker's post-shard self-check (``tasks_done``, ``rss_kb``,
+    ``open_fds``) so the pool can recycle a leaking worker.
+
+    Lifecycle contracts:
+
+    * the *real* stdout is detached for the protocol before any shard
+      runs; fd 1 is re-pointed at stderr (the pool output file), so a
+      printing target can never corrupt the frame stream;
+    * SIGTERM/SIGINT request a **graceful drain** — an idle worker
+      exits 0 immediately; a busy one finishes the in-flight shard,
+      publishes its ``result.json`` atomically (that is
+      :func:`execute_shard`'s normal epilogue), sends the response, and
+      exits 0;
+    * a MemoryError response announces ``will_exit`` and the daemon
+      exits afterward — post-OOM heap state is not worth trusting;
+    * EOF on stdin or an ``exit`` frame ends the loop with exit 0.
+    """
+    from .pool import PROTO_VERSION, ProtocolError, read_frame, write_frame
+
+    # detach the protocol channel, then point fd 1 (and sys.stdout,
+    # which wraps it) at stderr so target prints go to the output file
+    proto_out = os.fdopen(os.dup(1), "wb")
+    os.dup2(2, 1)
+    req_in = os.fdopen(os.dup(0), "rb")
+    devnull = os.open(os.devnull, os.O_RDONLY)
+    os.dup2(devnull, 0)
+    os.close(devnull)
+
+    state = {"busy": False, "drain": False}
+
+    def _drain(signum, frame):
+        state["drain"] = True
+        if not state["busy"]:
+            # idle: nothing in flight, nothing to publish — leave now
+            raise SystemExit(0)
+        # busy: finish the shard; the loop exits after the response
+
+    signal_module.signal(signal_module.SIGTERM, _drain)
+    signal_module.signal(signal_module.SIGINT, _drain)
+
+    try:
+        spec = load_fleet_spec(root)
+        apply_rlimits(ResourceLimits(max_rss_mb=spec.failure.max_rss_mb))
+        write_frame(proto_out, {"type": "hello", "proto": PROTO_VERSION,
+                                "pid": os.getpid(), "worker": worker_id})
+    except Exception:
+        traceback.print_exc()
+        return EXIT_INTERNAL
+
+    tasks = 0
+    while True:
+        try:
+            req = read_frame(req_in)
+        except ProtocolError:
+            traceback.print_exc()
+            return EXIT_INTERNAL
+        if req is None or req.get("type") == "exit":
+            return 0
+        if req.get("type") != "run":
+            continue  # unknown request types: forward compatibility
+        state["busy"] = True
+        resp = {"type": "done", "shard": req.get("shard"), "status": "ok"}
+        try:
+            execute_shard(root, spec.shard(req["shard"]))
+        except MemoryError:
+            resp["status"] = "oom"
+            resp["will_exit"] = True
+            resp["detail"] = "MemoryError under rlimit cap"
+        except Exception:
+            resp["status"] = "error"
+            resp["detail"] = traceback.format_exc().strip()[-500:]
+        finally:
+            state["busy"] = False
+        tasks += 1
+        resp["tasks_done"] = tasks
+        resp["rss_kb"] = _rss_kb()
+        resp["open_fds"] = _open_fds()
+        try:
+            write_frame(proto_out, resp)
+        except (BrokenPipeError, OSError):
+            # the scheduler is gone; the shard's result.json (if any)
+            # is already atomically published — nothing left to say
+            return 0
+        if resp["status"] == "oom" or state["drain"]:
+            return 0

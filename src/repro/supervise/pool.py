@@ -182,17 +182,25 @@ class HeartbeatMonitor:
         except OSError:
             pass
 
-    def cleanup(self) -> None:
+    def cleanup(self) -> int:
+        """Remove every heartbeat file (and the dir itself when owned).
+
+        Returns the number of files removed — the fleet's resume path
+        reports how many stale heartbeats a dead session left behind.
+        """
+        removed = 0
         try:
             for name in os.listdir(self.dir):
                 try:
                     os.unlink(os.path.join(self.dir, name))
+                    removed += 1
                 except OSError:
                     pass
             if self._owned:
                 os.rmdir(self.dir)
         except OSError:
             pass
+        return removed
 
 
 class CampaignSupervisor:

@@ -1,7 +1,9 @@
 """Tests for the shared crash-safe file primitives (core.atomicio)."""
 
+import errno
 import json
 import os
+from pathlib import Path
 
 import pytest
 
@@ -143,3 +145,152 @@ def test_appender_records_survive_unflushed_tail(tmp_path):
     # no close/sync — simulate the process dying here
     assert [o["n"] for o in read_jsonl(p)] == [1, 2]
     app.close()
+
+
+# ----------------------------------------------------------------------
+# chaos: injected I/O faults (ENOSPC, EIO, short writes)
+#
+# Buffered file writes do not pass through a Python-level ``os.write``,
+# so the faults are injected where the module actually touches Python
+# APIs: wrapper file objects installed via ``pathlib.Path.open``, and
+# ``os.fsync`` (which atomicio calls directly).
+
+
+class _FaultyFile:
+    """Wraps a real file object; ``plan(fh, data)`` runs each write."""
+
+    def __init__(self, fh, plan):
+        self._fh = fh
+        self._plan = plan
+
+    def write(self, data):
+        return self._plan(self._fh, data)
+
+    def __getattr__(self, name):
+        return getattr(self._fh, name)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._fh.close()
+
+
+def _inject_write_fault(monkeypatch, match, plan):
+    """Make ``Path.open`` hand back a faulty wrapper for matching paths."""
+    real_open = Path.open
+
+    def fake_open(self, *a, **kw):
+        fh = real_open(self, *a, **kw)
+        return _FaultyFile(fh, plan) if match(self) else fh
+
+    monkeypatch.setattr(Path, "open", fake_open)
+
+
+def _enospc(fh, data):
+    raise OSError(errno.ENOSPC, "No space left on device")
+
+
+def test_enospc_during_replace_write_keeps_old_content(tmp_path,
+                                                       monkeypatch):
+    """Disk-full while writing the temp file: the target still holds the
+    previous complete content — the atomic-replace claim under fault."""
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"complete-old-content")
+    _inject_write_fault(monkeypatch,
+                        match=lambda p: p.name.endswith(".tmp"),
+                        plan=_enospc)
+    with pytest.raises(OSError) as exc:
+        atomic_write_bytes(target, b"new-content-that-never-lands")
+    assert exc.value.errno == errno.ENOSPC
+    assert target.read_bytes() == b"complete-old-content"
+
+
+def test_short_write_then_eio_confines_torn_state_to_temp(tmp_path,
+                                                          monkeypatch):
+    """A short write followed by EIO (dying disk) leaves the torn bytes
+    in the temp file only; the rename never runs, the target is whole."""
+    def partial_then_eio(fh, data):
+        fh.write(data[:len(data) // 2])
+        fh.flush()
+        raise OSError(errno.EIO, "Input/output error")
+
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"old")
+    _inject_write_fault(monkeypatch,
+                        match=lambda p: p.name.endswith(".tmp"),
+                        plan=partial_then_eio)
+    with pytest.raises(OSError):
+        atomic_write_bytes(target, b"0123456789abcdef")
+    assert target.read_bytes() == b"old"
+    torn = target.with_name(target.name + ".tmp")
+    assert torn.read_bytes() == b"01234567"  # partial state, quarantined
+
+
+def test_eio_during_fsync_aborts_before_rename(tmp_path, monkeypatch):
+    """fsync failing (EIO) must abort the replace: an unsynced rename
+    could surface the new name with unjournalled bytes after a crash."""
+    target = tmp_path / "state.bin"
+    atomic_write_bytes(target, b"old")
+
+    def bad_fsync(fd):
+        raise OSError(errno.EIO, "Input/output error")
+
+    monkeypatch.setattr(os, "fsync", bad_fsync)
+    with pytest.raises(OSError) as exc:
+        atomic_write_bytes(target, b"new")
+    assert exc.value.errno == errno.EIO
+    assert target.read_bytes() == b"old"
+
+
+def test_fsync_dir_swallows_eio(tmp_path, monkeypatch):
+    """Directory fsync is best-effort by contract (network filesystems,
+    Windows): an EIO there degrades to a no-op, never an exception."""
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (_ for _ in ()).throw(
+                            OSError(errno.EIO, "Input/output error")))
+    fsync_dir(tmp_path)  # must not raise
+
+
+def test_appender_enospc_mid_record_leaves_torn_tail_readable(tmp_path,
+                                                              monkeypatch):
+    """Disk-full halfway through appending record 2 tears its line; the
+    torn-tail reader still yields record 1 (and only strict mode sees
+    the corruption) — the JSONL claims under an injected fault."""
+    calls = {"n": 0}
+
+    def second_write_tears(fh, data):
+        calls["n"] += 1
+        if calls["n"] == 2:
+            fh.write(data[:6])
+            fh.flush()
+            raise OSError(errno.ENOSPC, "No space left on device")
+        return fh.write(data)
+
+    p = tmp_path / "a.jsonl"
+    _inject_write_fault(monkeypatch, match=lambda q: q == p,
+                        plan=second_write_tears)
+    app = JsonlAppender(p, mode="w")
+    app.open()
+    app.write({"n": 1})
+    with pytest.raises(OSError):
+        app.write({"n": 2})
+    assert [o["n"] for o in read_jsonl(p)] == [1]
+    with pytest.raises(json.JSONDecodeError):
+        list(read_jsonl(p, tolerate_torn_tail=False))
+
+
+def test_appender_sync_failure_is_loud(tmp_path, monkeypatch):
+    """Unlike directory fsync, the appender's data fsync failing must
+    propagate — callers rely on sync() meaning 'records are on disk'."""
+    p = tmp_path / "a.jsonl"
+    app = JsonlAppender(p, mode="w", fsync_every=100)
+    app.open()
+    app.write({"n": 1})
+
+    def bad_fsync(fd):
+        raise OSError(errno.EIO, "Input/output error")
+
+    monkeypatch.setattr(os, "fsync", bad_fsync)
+    with pytest.raises(OSError):
+        app.sync()
